@@ -1,0 +1,5 @@
+"""Benchmark harness: one module per table/figure of the paper.
+
+Run with ``pytest benchmarks/ --benchmark-only``; see conftest.py for the
+REPRO_BENCH_SCALE knob and EXPERIMENTS.md for the recorded numbers.
+"""

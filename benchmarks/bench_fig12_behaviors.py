@@ -1,0 +1,56 @@
+"""Figure 12 — time-varying behaviours (TS/SS/TL/SL/JL).
+
+Runs the synchronized HILL-vs-OFF-LINE comparison per workload, classifies
+the OFF-LINE best-partition series into the paper's five behaviours, and
+reports HILL's fraction of OFF-LINE per behaviour.  Paper result: HILL
+tracks OFF-LINE closely in TS/SS workloads and loses ground in TL/SL/JL.
+Reproduced shape: every workload classifies into one of the five cases,
+and HILL's fraction is highest among the stable classes present.
+"""
+
+from benchmarks.conftest import print_header, run_once
+from repro.experiments.figures import fig12_behaviors
+from repro.experiments.report import (
+    format_table,
+    mean,
+    render_partition_heatmap,
+)
+from repro.experiments.runner import select_workloads
+
+
+def test_fig12_behaviors(benchmark, scale):
+    # Behaviour classification stabilises within ~20 epochs; bound the
+    # synchronized-replay cost accordingly.
+    sized = scale.with_overrides(epochs=min(scale.epochs, 20))
+    workloads = select_workloads(("MIX2", "MEM2"), sized)
+    result = run_once(benchmark, fig12_behaviors, sized, workloads=workloads)
+
+    print_header("Figure 12: time-varying behaviour per workload")
+    print(format_table(
+        ["workload", "behavior", "HILL/OFF-LINE", "best-share trajectory"],
+        [[row["workload"], row["behavior"], "%.3f" % row["hill_fraction"],
+          " ".join("%d" % share for share in row["offline_best_shares"][:12])]
+         for row in result["rows"]],
+    ))
+
+    # One representative gray-scale panel (the Figure 12 view).
+    panel = result["rows"][0]
+    print("\n%s (%s):" % (panel["workload"], panel["behavior"]))
+    print(render_partition_heatmap(panel["offline_epochs"],
+                                   panel["hill_shares"], width=1))
+
+    assert all(len(row["offline_best_shares"]) == sized.epochs
+               for row in result["rows"])
+    classes = {row["behavior"] for row in result["rows"]}
+    assert classes <= {"TS", "SS", "TL", "SL", "JL"}
+    # Shape: on-line learning recovers most of ideal in every class, and
+    # stable classes (TS/SS) do at least as well as limited ones on
+    # average when both are present.
+    fractions = [row["hill_fraction"] for row in result["rows"]]
+    assert all(fraction >= 0.55 for fraction in fractions)
+    stable = [row["hill_fraction"] for row in result["rows"]
+              if row["behavior"] in ("TS", "SS")]
+    limited = [row["hill_fraction"] for row in result["rows"]
+               if row["behavior"] in ("TL", "SL", "JL")]
+    if stable and limited:
+        assert mean(stable) >= mean(limited) - 0.10

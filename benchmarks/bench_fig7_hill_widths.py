@@ -1,0 +1,38 @@
+"""Figure 7 — hill-width measurements across the 2-thread workloads.
+
+For each workload, hill-width_N averaged over all OFF-LINE epochs.  Paper
+result: most workloads (14/21) have sharp peaks (small hill-width at
+N=0.99); a few (equake-bzip2, mcf-eon, fma3d-mesa, gzip-bzip2,
+lucas-crafty) have dull peaks.  Reproduced shape: widths vary by an order
+of magnitude across workloads, and ILP2 pairs that fit the machine have
+duller peaks than large MEM2 pairs on average.
+"""
+
+from benchmarks.conftest import print_header, run_once
+from repro.experiments.figures import fig7_hill_widths
+from repro.experiments.report import format_table, mean
+
+
+def test_fig7_hill_widths(benchmark, scale):
+    result = run_once(benchmark, fig7_hill_widths, scale)
+
+    levels = list(result["levels"])
+    print_header("Figure 7: hill-width_N per workload (registers, averaged "
+                 "over epochs)")
+    print(format_table(
+        ["workload", "group"] + ["N=%.2f" % level for level in levels],
+        [[name, group] + ["%.0f" % widths[level] for level in levels]
+         for name, group, widths in result["rows"]],
+        float_digits=0,
+    ))
+
+    total = result["total"]
+    sharpest = min(widths[0.99] for __, __, widths in result["rows"])
+    dullest = max(widths[0.90] for __, __, widths in result["rows"])
+    # Shape: the sharpest peak is much narrower than the machine, and
+    # widths spread substantially across workloads.
+    assert sharpest <= total / 2
+    assert dullest >= sharpest
+    for __, __, widths in result["rows"]:
+        ordered = [widths[level] for level in sorted(widths, reverse=True)]
+        assert ordered == sorted(ordered)  # monotone per workload

@@ -1,0 +1,61 @@
+"""Infrastructure micro-benchmarks (real pytest-benchmark timing, multiple
+rounds): simulator throughput, checkpoint cost, generator rate.
+
+These are the numbers that justify the EXPERIMENTS.md scaling table — a
+pure-Python cycle simulator runs ~10^5 cycles/second, which is why the
+harness cannot run the paper's 1B-instruction windows.
+"""
+
+import pytest
+
+from repro.pipeline.checkpoint import Checkpoint
+from repro.pipeline.config import SMTConfig
+from repro.pipeline.processor import SMTProcessor
+from repro.policies.icount import ICountPolicy
+from repro.workloads.generator import SyntheticStream
+from repro.workloads.mixes import get_workload
+from repro.workloads.spec2000 import get_profile
+
+
+def warm_proc():
+    workload = get_workload("art-gzip")
+    proc = SMTProcessor(SMTConfig.fast(), workload.profiles, seed=0,
+                        policy=ICountPolicy())
+    proc.run(6000)
+    return proc
+
+
+def test_simulator_cycle_throughput(benchmark):
+    proc = warm_proc()
+    cycles = 4096
+
+    def run_epoch():
+        proc.run(cycles)
+
+    benchmark.pedantic(run_epoch, rounds=5, iterations=1)
+    assert proc.stats.committed[0] > 0
+
+
+def test_checkpoint_save(benchmark):
+    proc = warm_proc()
+    checkpoint = benchmark.pedantic(lambda: Checkpoint(proc), rounds=5,
+                                    iterations=1)
+    assert checkpoint.size_bytes > 1000
+
+
+def test_checkpoint_materialize(benchmark):
+    proc = warm_proc()
+    checkpoint = Checkpoint(proc)
+    clone = benchmark.pedantic(checkpoint.materialize, rounds=5, iterations=1)
+    assert clone.cycle == proc.cycle
+
+
+def test_generator_instruction_rate(benchmark):
+    stream = SyntheticStream(get_profile("art"), 0, seed=0)
+
+    def generate():
+        for __ in range(10000):
+            stream.next_instruction()
+
+    benchmark.pedantic(generate, rounds=5, iterations=1)
+    assert stream.seq >= 50000

@@ -1,0 +1,63 @@
+"""Section 3.3.2 — qualitative sources of OFF-LINE's gains, quantified.
+
+Two claims:
+
+* *Cache-miss clustering*: memory-intensive threads with clustered
+  independent misses gain substantially from a deeper window (so learning
+  that grows their partition wins where FLUSH/DCRA hold back).
+* *Compute-intensive low-ILP threads*: some rarely-missing threads gain
+  almost nothing from a deep window (so learning that shrinks their
+  partition frees resources that indicator policies would waste on them).
+"""
+
+from benchmarks.conftest import print_header, run_once
+from repro.analysis.qualitative import classify_threads
+from repro.experiments.report import format_table
+from repro.workloads.spec2000 import PROFILES
+
+#: Benchmarks exercising both cases: bursty MEM threads, serial chasers,
+#: wide-ILP and chain-limited compute threads.
+CANDIDATES = ("art", "swim", "twolf", "mcf", "lucas", "gap", "gzip",
+              "crafty", "perlbmk", "eon")
+
+
+def test_qualitative_cases(benchmark, scale):
+    profiles = [PROFILES[name] for name in CANDIDATES]
+
+    def experiment():
+        return classify_threads(profiles, scale.config, seed=scale.seed,
+                                warmup=scale.warmup,
+                                window=scale.epoch_size * 4)
+
+    buckets = run_once(benchmark, experiment)
+
+    print_header("Section 3.3.2: window utility per thread")
+    rows = []
+    for bucket, utilities in buckets.items():
+        for utility in utilities:
+            rows.append([
+                utility.benchmark, bucket,
+                utility.shallow_ipc, utility.deep_ipc,
+                utility.gain, utility.l2_misses_per_kilo,
+            ])
+    print(format_table(
+        ["benchmark", "case", "IPC shallow", "IPC deep", "gain",
+         "L2 MPKI"], rows,
+    ))
+
+    by_name = {}
+    for utilities in buckets.values():
+        for utility in utilities:
+            by_name[utility.benchmark] = utility
+    # Shape: the clustered-miss MEM threads gain far more from window
+    # depth than the serial chaser.
+    assert by_name["art"].gain > by_name["lucas"].gain
+    assert by_name["swim"].gain > 1.15
+    # Shape: at least one rarely-missing compute thread is window-
+    # insensitive (the "low-ILP compute" case exists in the suite).
+    compute = [utility for utility in by_name.values()
+               if not utility.is_memory_intensive]
+    assert any(utility.gain < 1.4 for utility in compute)
+    # Shape: clustering bucket is populated by MEM benchmarks.
+    for utility in buckets["clustering"]:
+        assert utility.is_memory_intensive

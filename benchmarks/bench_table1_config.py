@@ -1,0 +1,33 @@
+"""Table 1 — SMT simulator settings.
+
+Reports the modelled machine (paper preset and the scaled preset actually
+used by the harness) and asserts the paper preset matches Table 1 exactly.
+"""
+
+from benchmarks.conftest import print_header, run_once
+from repro.experiments.report import format_table
+from repro.experiments.tables import table1_configuration
+from repro.pipeline.config import SMTConfig
+
+
+def test_table1_configuration(benchmark, scale):
+    def experiment():
+        return {
+            "paper": table1_configuration(SMTConfig.paper()),
+            "scaled": table1_configuration(scale.config),
+        }
+
+    result = run_once(benchmark, experiment)
+    print_header("Table 1: machine configuration (paper preset)")
+    print(format_table(["parameter", "value"], result["paper"]))
+    print_header("Table 1 (scaled preset used by this harness)")
+    print(format_table(["parameter", "value"], result["scaled"]))
+
+    paper = dict(result["paper"])
+    assert paper["Bandwidth"] == "8-Fetch, 8-Issue, 8-Commit"
+    assert paper["Queue size"] == "32-IFQ, 80-Int IQ, 80-FP IQ, 256-LSQ"
+    assert paper["Rename reg / ROB"] == "256-Int, 256-FP / 512 entry"
+    assert "6-Int Add, 3-Int Mul/Div, 4-Mem Port" in paper["Functional unit"]
+    assert paper["Branch predictor"] == "Hybrid 8192-entry gshare/2048-entry Bimod"
+    assert paper["UL2 config"].startswith("1024kbyte")
+    assert paper["Mem config"].startswith("300 cycle")

@@ -1,0 +1,35 @@
+"""Table 3 — the 42 multiprogrammed workloads.
+
+Reports every workload with its group and summed resource requirement, and
+asserts the Table 3 structure (6 groups x 7 workloads, paper Rsc sums).
+"""
+
+from benchmarks.conftest import print_header, run_once
+from repro.experiments.report import format_table
+from repro.experiments.tables import table3_workloads
+
+
+def test_table3_workloads(benchmark):
+    rows = run_once(benchmark, table3_workloads)
+
+    print_header("Table 3: multiprogrammed workloads")
+    print(format_table(
+        ["workload", "group", "threads", "Rsc sum", "large?"],
+        [[row["name"], row["group"], row["threads"], row["rsc_sum"],
+          "LG" if row["large"] else "SM"] for row in rows],
+    ))
+
+    assert len(rows) == 42
+    groups = {}
+    for row in rows:
+        groups.setdefault(row["group"], []).append(row)
+    assert set(groups) == {"ILP2", "MIX2", "MEM2", "ILP4", "MIX4", "MEM4"}
+    assert all(len(members) == 7 for members in groups.values())
+    by_name = {row["name"]: row for row in rows}
+    # Paper's Table 3 Rsc sums (spot checks).
+    assert by_name["apsi-eon"]["rsc_sum"] == 209
+    assert by_name["art-mcf"]["rsc_sum"] == 273
+    assert by_name["swim-mcf"]["rsc_sum"] == 310
+    # MEM groups should skew large, ILP2 small.
+    assert sum(1 for row in groups["MEM2"] if row["large"]) >= 5
+    assert sum(1 for row in groups["ILP2"] if not row["large"]) >= 4

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Figure 12, live: the time-varying behaviour of hill-climbing against
+the per-epoch ideal, as an ASCII gray-scale panel.
+
+The hill climber's machine runs continuously; at each epoch boundary
+OFF-LINE's exhaustive sweep replays the epoch from a checkpoint.  Rows are
+partition settings, columns are epochs, shading is the epoch's weighted
+IPC at that partitioning, ``O`` marks the per-epoch best and ``+`` the
+hill climber's actual setting — the same plot the paper uses to identify
+the TS/SS/TL/SL/JL cases.
+
+Usage::
+
+    python examples/behavior_panels.py [workload] [epochs]
+"""
+
+import sys
+
+from repro import get_workload
+from repro.analysis.behavior import classify_behavior
+from repro.core.hill_climbing import HillClimbingPolicy
+from repro.core.metrics import WeightedIPC
+from repro.experiments.report import render_partition_heatmap
+from repro.experiments.runner import ExperimentScale
+from repro.experiments.sync import policy_synchronized_timeline
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "art-mcf"
+    epochs = int(sys.argv[2]) if len(sys.argv) > 2 else 20
+    workload = get_workload(name)
+    scale = ExperimentScale.bench().with_overrides(epochs=epochs, stride=16)
+
+    def hill():
+        return HillClimbingPolicy(metric=WeightedIPC(),
+                                  software_cost=scale.hill_software_cost,
+                                  sample_period=scale.hill_sample_period)
+
+    print("synchronizing OFF-LINE to HILL-WIPC on %s (%d epochs)..."
+          % (workload.name, epochs))
+    timeline = policy_synchronized_timeline(workload, hill, scale,
+                                            epochs=epochs)
+    print()
+    print(render_partition_heatmap(timeline.offline_epochs,
+                                   timeline.policy_shares))
+    behavior = classify_behavior(timeline.offline_epochs,
+                                 scale.config.rename_int)
+    hill_mean = sum(timeline.series["HILL"]) / epochs
+    ideal_mean = sum(timeline.series["OFF-LINE"]) / epochs
+    print("\nbehaviour: %s (%s)" % (behavior.value, behavior.name))
+    print("HILL achieves %.1f%% of the per-epoch ideal"
+          % (100 * hill_mean / ideal_mean))
+
+
+if __name__ == "__main__":
+    main()

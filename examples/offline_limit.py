@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""The Section 3 limit study on one workload.
+
+Runs the OFF-LINE exhaustive learner — checkpoint the machine at each epoch
+boundary, replay the epoch under every candidate partitioning, keep the
+best — and compares its weighted IPC against ICOUNT, FLUSH and DCRA.  Also
+prints one epoch's full performance-vs-partitioning curve, the shape that
+motivates hill-climbing.
+
+Usage::
+
+    python examples/offline_limit.py [workload] [epochs]
+"""
+
+import sys
+
+from repro import get_workload
+from repro.core.metrics import WeightedIPC
+from repro.experiments.figures import run_offline
+from repro.experiments.runner import (
+    ExperimentScale,
+    baseline_factories,
+    compare_policies,
+    solo_ipcs,
+)
+from repro.experiments.report import format_table, pct_gain
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "art-mcf"
+    epochs = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+    workload = get_workload(name)
+    scale = ExperimentScale.bench().with_overrides(epochs=epochs, stride=8)
+    metric = WeightedIPC()
+
+    print("running baselines on %s ..." % workload.name)
+    results = compare_policies(workload, baseline_factories(), scale)
+    values = {policy: result.weighted_ipc
+              for policy, result in results.items()}
+
+    print("running OFF-LINE exhaustive learning (%d epochs x %d trials)..."
+          % (epochs, len(run_curve_preview(scale))))
+    learner = run_offline(workload, scale, metric)
+    singles = solo_ipcs(workload, scale)
+    values["OFF-LINE"] = metric.value(learner.overall_ipcs(), singles)
+
+    rows = [[policy, value, "%+.1f%%" % pct_gain(values["OFF-LINE"], value)
+             if policy != "OFF-LINE" else "-"]
+            for policy, value in values.items()]
+    print()
+    print(format_table(["policy", "weighted IPC", "OFF-LINE gain"], rows))
+
+    middle = learner.epochs[len(learner.epochs) // 2]
+    print("\nepoch %d performance curve (thread-0 share -> weighted IPC):"
+          % middle.epoch_id)
+    peak = max(value for __, value in middle.curve_over_first_share())
+    for share, value in middle.curve_over_first_share():
+        bar = "#" * int(40 * value / peak) if peak > 0 else ""
+        marker = " <- best" if (share,) == middle.best_shares[:1] else ""
+        print("  %4d | %-40s %.3f%s" % (share, bar, value, marker))
+
+
+def run_curve_preview(scale):
+    from repro.core.partition import share_grid
+
+    return list(share_grid(2, scale.config.rename_int,
+                           scale.config.min_partition, scale.stride))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""The Section 5 extension: phase detection and prediction.
+
+Hill-climbing re-learns the best partitioning from scratch whenever the
+workload's behaviour changes.  PHASE-HILL classifies each epoch's BBV
+signature into a phase ID, remembers the anchor learned for each phase, and
+restores it instantly when a phase recurs (plus a Markov predictor that
+pre-applies the next phase's anchor).
+
+This example uses a workload with strong phase behaviour (gzip and vortex
+are both "High"-variation Table 2 benchmarks) and reports the phase
+statistics alongside the performance comparison.
+
+Usage::
+
+    python examples/phase_adaptive.py [workload]
+"""
+
+import sys
+
+from repro import get_workload
+from repro.core.controller import EpochController
+from repro.core.hill_climbing import HillClimbingPolicy
+from repro.core.metrics import WeightedIPC
+from repro.core.phase_hill import PhaseHillPolicy
+from repro.experiments.runner import ExperimentScale, solo_ipcs
+from repro.pipeline.processor import SMTProcessor
+
+
+def run(workload, policy, scale):
+    proc = SMTProcessor(scale.config, workload.profiles, seed=scale.seed,
+                        policy=policy)
+    proc.run(scale.warmup)
+    controller = EpochController(proc, epoch_size=scale.epoch_size)
+    controller.run(scale.epochs)
+    return controller
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "gzip-vortex"
+    workload = get_workload(name)
+    scale = ExperimentScale.bench().with_overrides(epochs=48)
+    metric = WeightedIPC()
+    singles = solo_ipcs(workload, scale)
+
+    plain = HillClimbingPolicy(metric=WeightedIPC(),
+                               software_cost=scale.hill_software_cost,
+                               sample_period=scale.hill_sample_period)
+    phased = PhaseHillPolicy(metric=WeightedIPC(),
+                             software_cost=scale.hill_software_cost,
+                             sample_period=scale.hill_sample_period)
+
+    print("workload: %s (phase-variation members: %s)\n" % (
+        workload.name,
+        ", ".join("%s=%s" % (profile.name, profile.freq.value)
+                  for profile in workload.profiles),
+    ))
+    for label, policy in (("HILL", plain), ("PHASE-HILL", phased)):
+        controller = run(workload, policy, scale)
+        value = metric.value(controller.overall_ipcs(), singles)
+        line = "%-11s weighted IPC %.3f" % (label, value)
+        if isinstance(policy, PhaseHillPolicy):
+            line += ("   [phases seen: %d, switches: %d, anchor reuses: %d, "
+                     "predictor accuracy: %.0f%%]" % (
+                         len(policy.phase_table), policy.phase_switches,
+                         policy.phase_reuses,
+                         100 * policy.phase_predictor.accuracy))
+        print(line)
+
+
+if __name__ == "__main__":
+    main()

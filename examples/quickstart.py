@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: run one multiprogrammed workload under hill-climbing
+resource distribution and compare it with plain ICOUNT.
+
+Usage::
+
+    python examples/quickstart.py [workload] [epochs]
+
+Defaults to the paper's running example, art-mcf (two memory-intensive
+SPEC CPU2000 threads), on the half-scale machine.
+"""
+
+import sys
+
+from repro import (
+    EpochController,
+    HillClimbingPolicy,
+    ICountPolicy,
+    SMTConfig,
+    SMTProcessor,
+    get_workload,
+)
+
+WARMUP_CYCLES = 12000
+EPOCH_SIZE = 4096
+
+
+def run(workload, policy, epochs):
+    proc = SMTProcessor(SMTConfig.fast(), workload.profiles, seed=0,
+                        policy=policy)
+    proc.run(WARMUP_CYCLES)
+    controller = EpochController(proc, epoch_size=EPOCH_SIZE)
+    controller.run(epochs)
+    return controller
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "art-mcf"
+    epochs = int(sys.argv[2]) if len(sys.argv) > 2 else 32
+    workload = get_workload(name)
+    print("workload %s (%s): %s" % (
+        workload.name, workload.group, ", ".join(workload.benchmarks)))
+
+    for policy in (ICountPolicy(), HillClimbingPolicy()):
+        controller = run(workload, policy, epochs)
+        ipcs = controller.overall_ipcs()
+        print("%-18s per-thread IPC %s  aggregate %.3f" % (
+            policy.name,
+            " ".join("%.3f" % ipc for ipc in ipcs),
+            sum(ipcs),
+        ))
+        if isinstance(policy, HillClimbingPolicy):
+            print("%-18s learned partition (int rename regs): %s" % (
+                "", policy.current_anchor))
+
+
+if __name__ == "__main__":
+    main()

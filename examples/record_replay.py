@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Record a workload to a trace file and replay it through the pipeline.
+
+Trace files freeze a workload independent of the generator's RNG stream —
+useful for archiving the exact instructions behind a result, or for
+feeding externally produced traces to the simulator (any tool that can
+write the one-line-per-instruction format can drive it).
+
+Usage::
+
+    python examples/record_replay.py [benchmark] [instructions]
+"""
+
+import sys
+import tempfile
+
+from repro import ICountPolicy, SMTConfig, SMTProcessor, get_profile
+from repro.workloads.generator import SyntheticStream
+from repro.workloads.tracefile import TraceStream, record_trace
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "gzip"
+    count = int(sys.argv[2]) if len(sys.argv) > 2 else 20000
+    profile = get_profile(name)
+
+    with tempfile.NamedTemporaryFile(suffix=".trace", delete=False) as handle:
+        path = handle.name
+    stream = SyntheticStream(profile, 0, seed=42)
+    record_trace(stream, count, path)
+    print("recorded %d instructions of %s to %s" % (count, name, path))
+
+    live = SMTProcessor(SMTConfig.fast(), [profile], seed=42,
+                        policy=ICountPolicy())
+    replayed = SMTProcessor(SMTConfig.fast(), [profile], seed=0,
+                            policy=ICountPolicy(),
+                            streams=[TraceStream(path)])
+    cycles = 6000
+    live.run(cycles)
+    replayed.run(cycles)
+    print("live generator: %6d committed in %d cycles (IPC %.2f)"
+          % (live.stats.committed[0], cycles, live.stats.ipc()))
+    print("trace replay:   %6d committed in %d cycles (IPC %.2f)"
+          % (replayed.stats.committed[0], cycles, replayed.stats.ipc()))
+    print("(identical while execution stays within the recorded window; "
+          "the replay wraps afterwards)")
+
+
+if __name__ == "__main__":
+    main()

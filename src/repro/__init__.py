@@ -1,0 +1,102 @@
+"""repro — Learning-Based SMT Processor Resource Distribution via
+Hill-Climbing (Choi & Yeung, ISCA 2006) as a self-contained Python library.
+
+Quick start::
+
+    from repro import SMTConfig, SMTProcessor, EpochController
+    from repro import HillClimbingPolicy, get_workload
+
+    workload = get_workload("art-mcf")
+    proc = SMTProcessor(SMTConfig.fast(), workload.profiles,
+                        policy=HillClimbingPolicy())
+    controller = EpochController(proc, epoch_size=8192)
+    controller.run(32)
+    print(controller.overall_ipcs())
+
+Package map (see DESIGN.md for the full inventory):
+
+* ``repro.pipeline`` — the cycle-level SMT processor substrate.
+* ``repro.memory`` / ``repro.branch`` — cache hierarchy and predictors.
+* ``repro.workloads`` — Table 2 synthetic benchmarks, Table 3 mixes.
+* ``repro.policies`` — ICOUNT / FLUSH / STALL / DCRA / static baselines.
+* ``repro.core`` — hill-climbing, OFF-LINE, RAND-HILL, phase-based
+  learning, metrics, the epoch controller.
+* ``repro.phase`` — BBV phase detection + Markov phase prediction.
+* ``repro.analysis`` — hill-width, behaviour classification, surfaces.
+* ``repro.experiments`` — per-figure/table experiment drivers.
+"""
+
+from repro.pipeline.config import SMTConfig
+from repro.pipeline.processor import SMTProcessor
+from repro.pipeline.checkpoint import Checkpoint
+from repro.core.controller import EpochController, EpochResult
+from repro.core.metrics import (
+    AvgIPC,
+    HarmonicMeanWeightedIPC,
+    WeightedIPC,
+    metric_by_name,
+)
+from repro.core.hill_climbing import HillClimbingPolicy, make_hill_policy
+from repro.core.offline import OfflineExhaustiveLearner
+from repro.core.rand_hill import RandHillLearner
+from repro.core.phase_hill import PhaseHillPolicy
+from repro.policies import (
+    BASELINE_POLICIES,
+    DCRAPolicy,
+    DGPolicy,
+    FlushPolicy,
+    FPGPolicy,
+    ICountPolicy,
+    PDGPolicy,
+    ResourcePolicy,
+    StallFlushPolicy,
+    StallPolicy,
+    StaticPartitionPolicy,
+)
+from repro.workloads import (
+    PROFILES,
+    WORKLOADS,
+    get_profile,
+    get_workload,
+    profile_names,
+    workload_names,
+    workloads_in_group,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SMTConfig",
+    "SMTProcessor",
+    "Checkpoint",
+    "EpochController",
+    "EpochResult",
+    "AvgIPC",
+    "WeightedIPC",
+    "HarmonicMeanWeightedIPC",
+    "metric_by_name",
+    "HillClimbingPolicy",
+    "make_hill_policy",
+    "OfflineExhaustiveLearner",
+    "RandHillLearner",
+    "PhaseHillPolicy",
+    "ResourcePolicy",
+    "ICountPolicy",
+    "FPGPolicy",
+    "FlushPolicy",
+    "StallPolicy",
+    "StallFlushPolicy",
+    "DGPolicy",
+    "PDGPolicy",
+    "DCRAPolicy",
+    "StaticPartitionPolicy",
+    "BASELINE_POLICIES",
+    "PROFILES",
+    "WORKLOADS",
+    "get_profile",
+    "get_workload",
+    "profile_names",
+    "workload_names",
+    "workloads_in_group",
+    "__version__",
+]

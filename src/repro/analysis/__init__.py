@@ -1,0 +1,35 @@
+"""Analysis tools over simulation results.
+
+* :mod:`repro.analysis.hill_width` — hill-width_N of an epoch's
+  performance-vs-partitioning curve (Figures 6/7).
+* :mod:`repro.analysis.behavior` — classify a workload's time-varying
+  behaviour into the paper's five cases TS/SS/TL/SL/JL (Figure 12).
+* :mod:`repro.analysis.characteristics` — re-derive the Table 2 "Rsc" and
+  "Freq" columns from stand-alone runs, and the SM/LG(H/L) workload labels
+  of Figure 11.
+* :mod:`repro.analysis.surface` — the Figure 2 IPC-vs-distribution surface
+  for three threads.
+"""
+
+from repro.analysis.hill_width import hill_width, hill_widths, peak_count
+from repro.analysis.behavior import BehaviorClass, classify_behavior
+from repro.analysis.characteristics import (
+    derive_freq_label,
+    requirement_series,
+    resource_requirement,
+    workload_label,
+)
+from repro.analysis.surface import distribution_surface
+
+__all__ = [
+    "hill_width",
+    "hill_widths",
+    "peak_count",
+    "BehaviorClass",
+    "classify_behavior",
+    "resource_requirement",
+    "requirement_series",
+    "derive_freq_label",
+    "workload_label",
+    "distribution_surface",
+]

@@ -1,0 +1,108 @@
+"""Time-varying behaviour classification (Section 4.4.1, Figure 12).
+
+The paper identifies five representative behaviours of the best
+partitioning over time:
+
+* **TS** (temporally stable): the best partitioning barely moves.
+* **SS** (spatially stable): it moves rapidly, but over wide hills, so any
+  settled partitioning performs close to the best.
+* **TL** (temporally limited): long stable regimes separated by occasional
+  large regime changes (the learning-time failure mode).
+* **SL** (spatially limited): persistent multi-peak curves trap the
+  climber on a local maximum.
+* **JL** (jitter limited): a stable best with transient inter-epoch jitter
+  that fools the gradient.
+
+``classify_behavior`` reproduces this taxonomy heuristically from an
+OFF-LINE run's per-epoch curves and best partitionings.  The thresholds
+are documented constants, chosen to reproduce the paper's qualitative
+groupings, not tuned per workload.
+"""
+
+import enum
+import statistics
+
+
+class BehaviorClass(enum.Enum):
+    TEMPORALLY_STABLE = "TS"
+    SPATIALLY_STABLE = "SS"
+    TEMPORALLY_LIMITED = "TL"
+    SPATIALLY_LIMITED = "SL"
+    JITTER_LIMITED = "JL"
+
+
+#: A move of more than this fraction of the total resource between epochs
+#: counts as a jump of the best partitioning.
+JUMP_FRACTION = 1.0 / 16.0
+#: Best-partition jump rate below which a workload is "temporally stable".
+STABLE_JUMP_RATE = 0.08
+#: Hill-width_0.97 (as a fraction of total) above which hills are "wide".
+WIDE_HILL_FRACTION = 0.25
+#: Fraction of epochs with multi-peak curves for the SL label.
+MULTIMODAL_RATE = 0.5
+#: Jump rate above which movement is "rapid" rather than episodic.
+RAPID_JUMP_RATE = 0.35
+
+
+def classify_behavior(offline_epochs, total):
+    """Classify an OFF-LINE run into one of the five behaviours.
+
+    Parameters
+    ----------
+    offline_epochs:
+        Sequence of :class:`~repro.core.offline.OfflineEpoch`.
+    total:
+        Total partitioned units (``config.rename_int``).
+    """
+    if len(offline_epochs) < 3:
+        raise ValueError("need at least three epochs to classify behaviour")
+    from repro.analysis.hill_width import hill_width, peak_count
+
+    best = [epoch.best_shares[0] for epoch in offline_epochs]
+    jumps = [
+        abs(after - before) > JUMP_FRACTION * total
+        for before, after in zip(best, best[1:])
+    ]
+    jump_rate = sum(jumps) / len(jumps)
+
+    widths = []
+    multimodal = 0
+    for epoch in offline_epochs:
+        curve = epoch.curve_over_first_share()
+        widths.append(hill_width(curve, 0.97) / total)
+        if peak_count(curve, prominence=0.03) >= 2:
+            multimodal += 1
+    mean_width = statistics.mean(widths)
+    multimodal_rate = multimodal / len(offline_epochs)
+
+    # A jump is "persistent" (a regime change, not jitter) when the best
+    # stays near the landing point for the following epochs.
+    persistent = 0
+    jump_count = 0
+    for index, jumped in enumerate(jumps):
+        if not jumped:
+            continue
+        jump_count += 1
+        landing = best[index + 1]
+        horizon = best[index + 2: index + 5]
+        if horizon and all(
+            abs(value - landing) <= JUMP_FRACTION * total for value in horizon
+        ):
+            persistent += 1
+
+    if jump_rate <= STABLE_JUMP_RATE:
+        if multimodal_rate >= MULTIMODAL_RATE:
+            return BehaviorClass.SPATIALLY_LIMITED
+        if persistent >= 1 and mean_width < WIDE_HILL_FRACTION:
+            # Rare but lasting regime changes over sharp hills: the
+            # learning-time-limited case even though movement is rare.
+            return BehaviorClass.TEMPORALLY_LIMITED
+        return BehaviorClass.TEMPORALLY_STABLE
+    if jump_rate >= RAPID_JUMP_RATE:
+        if mean_width >= WIDE_HILL_FRACTION:
+            return BehaviorClass.SPATIALLY_STABLE
+        return BehaviorClass.JITTER_LIMITED
+    # Episodic movement: regime changes (TL) vs transient jitter (JL).
+    if jump_count and persistent / jump_count >= 0.5:
+        return BehaviorClass.TEMPORALLY_LIMITED
+    return BehaviorClass.JITTER_LIMITED

@@ -1,0 +1,89 @@
+"""Hill-width analysis (Section 3.3.1, Figures 6 and 7).
+
+``hill-width_N`` is the width of the performance hill containing the
+maximal peak, measured at performance level ``N * max``: sharp peaks have
+small widths at high N (the workload is sensitive to partitioning), dull
+peaks have large widths (any nearby partitioning performs fine).
+"""
+
+
+def _validated(curve):
+    if len(curve) < 2:
+        raise ValueError("curve needs at least two points")
+    points = sorted(curve)
+    positions = [position for position, __ in points]
+    if len(set(positions)) != len(positions):
+        raise ValueError("curve has duplicate positions")
+    return points
+
+
+def hill_width(curve, level):
+    """Width of the maximal peak's hill at ``level`` (0 < level <= 1).
+
+    ``curve`` is a list of (partition position, performance) pairs.  The
+    width is the extent, in partition units, of the contiguous region
+    around the argmax whose performance stays at or above
+    ``level * max(performance)``.
+    """
+    if not 0.0 < level <= 1.0:
+        raise ValueError("level must be in (0, 1]")
+    points = _validated(curve)
+    values = [value for __, value in points]
+    peak_value = max(values)
+    peak_index = values.index(peak_value)
+    threshold = level * peak_value
+    left = peak_index
+    while left > 0 and values[left - 1] >= threshold:
+        left -= 1
+    right = peak_index
+    while right < len(values) - 1 and values[right + 1] >= threshold:
+        right += 1
+    return points[right][0] - points[left][0]
+
+
+def hill_widths(curve, levels=(0.99, 0.98, 0.97, 0.95, 0.90)):
+    """Hill-width at each level (the Figure 7 measurement set)."""
+    return {level: hill_width(curve, level) for level in levels}
+
+
+def peak_count(curve, prominence=0.02):
+    """Number of local maxima whose prominence exceeds ``prominence``
+    (relative to the global max).  Used to detect the multi-peak curves
+    behind the spatially-limited (SL) behaviour.
+    """
+    points = _validated(curve)
+    values = [value for __, value in points]
+    peak_value = max(values)
+    if peak_value <= 0:
+        return 0
+    threshold = prominence * peak_value
+    peaks = 0
+    count = len(values)
+    for index in range(count):
+        value = values[index]
+        left = values[index - 1] if index > 0 else float("-inf")
+        right = values[index + 1] if index < count - 1 else float("-inf")
+        if value < max(left, right):
+            continue  # not a local max
+        # Prominence: drop required on both sides before rising again.
+        drop_left = _max_drop(values, index, -1, threshold)
+        drop_right = _max_drop(values, index, +1, threshold)
+        boundary_left = index == 0
+        boundary_right = index == count - 1
+        if (drop_left or boundary_left) and (drop_right or boundary_right):
+            peaks += 1
+    return peaks
+
+
+def _max_drop(values, start, step, threshold):
+    """True if walking from ``start`` in ``step`` direction the curve drops
+    by at least ``threshold`` before exceeding values[start]."""
+    reference = values[start]
+    index = start + step
+    while 0 <= index < len(values):
+        if values[index] > reference:
+            return False
+        if reference - values[index] >= threshold:
+            return True
+        index += step
+    return False

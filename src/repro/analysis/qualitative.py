@@ -1,0 +1,108 @@
+"""The Section 3.3.2 qualitative analysis, made measurable.
+
+The paper identifies two behaviours where indicator-driven policies miss
+performance that learning captures:
+
+* **Cache-miss clustering** — when a thread's independent L2-missing loads
+  cluster, giving it a *larger* partition lets more of the cluster into
+  the window and overlaps the misses (memory-level parallelism).
+  :func:`miss_clustering_gain` measures exactly this: a thread's
+  stand-alone IPC with a deep vs shallow window, normalized.
+* **Compute-intensive low-ILP threads** — threads that rarely cache-miss
+  but still can't use a big window (long dependence chains, poor branch
+  prediction).  Indicator policies over-provision them;
+  :func:`window_utility` exposes them as threads whose IPC barely improves
+  with window size despite a low L2 miss rate.
+"""
+
+from dataclasses import dataclass
+
+from repro.pipeline.processor import SMTProcessor
+from repro.policies.icount import ICountPolicy
+
+
+@dataclass(frozen=True)
+class WindowUtility:
+    """How much a thread's stand-alone IPC responds to window size."""
+
+    benchmark: str
+    shallow_ipc: float
+    deep_ipc: float
+    l2_misses_per_kilo: float
+
+    @property
+    def gain(self):
+        """deep/shallow IPC ratio; ~1.0 means window-insensitive."""
+        if self.shallow_ipc <= 0:
+            return 1.0
+        return self.deep_ipc / self.shallow_ipc
+
+    @property
+    def is_memory_intensive(self):
+        return self.l2_misses_per_kilo >= 5.0
+
+    @property
+    def is_low_ilp_compute(self):
+        """The paper's second case: few misses *and* little window gain."""
+        return not self.is_memory_intensive and self.gain < 1.25
+
+
+def _capped_run(profile, config, cap, seed, warmup, window):
+    proc = SMTProcessor(config, [profile], seed=seed, policy=ICountPolicy())
+    proc.partitions.set_limits_directly(
+        int_rename=[cap],
+        int_iq=[max(2, cap * config.iq_int_size // config.rename_int)],
+        rob=[max(2, cap * config.rob_size // config.rename_int)],
+    )
+    proc.run(warmup)
+    before = proc.stats.copy()
+    proc.run(window)
+    committed, cycles = proc.stats.delta_since(before)
+    misses = proc.stats.l2_misses[0]
+    return committed[0] / max(cycles, 1), misses, committed[0]
+
+
+def window_utility(profile, config, seed=0, warmup=8000, window=16000,
+                   shallow_frac=0.25):
+    """Measure a thread's IPC with a shallow vs full window."""
+    shallow_cap = max(config.min_partition,
+                      int(config.rename_int * shallow_frac))
+    shallow_ipc, __, __ = _capped_run(profile, config, shallow_cap, seed,
+                                      warmup, window)
+    deep_ipc, misses, committed = _capped_run(
+        profile, config, config.rename_int, seed, warmup, window)
+    mpki = 1000.0 * misses / max(1, committed)
+    return WindowUtility(
+        benchmark=profile.name,
+        shallow_ipc=shallow_ipc,
+        deep_ipc=deep_ipc,
+        l2_misses_per_kilo=mpki,
+    )
+
+
+def miss_clustering_gain(profile, config, seed=0, warmup=8000, window=16000):
+    """Deep-window speedup of a memory-intensive thread — the measurable
+    form of "aggressively fetching past a cache miss is desirable when
+    independent cache-missing loads can be brought into the window"."""
+    utility = window_utility(profile, config, seed=seed, warmup=warmup,
+                             window=window)
+    return utility.gain
+
+
+def classify_threads(profiles, config, seed=0, warmup=8000, window=16000):
+    """Classify each profile into the paper's qualitative cases.
+
+    Returns {"clustering": [...], "low_ilp_compute": [...], "other": [...]}
+    with the per-benchmark :class:`WindowUtility` records attached.
+    """
+    buckets = {"clustering": [], "low_ilp_compute": [], "other": []}
+    for profile in profiles:
+        utility = window_utility(profile, config, seed=seed, warmup=warmup,
+                                 window=window)
+        if utility.is_memory_intensive and utility.gain >= 1.25:
+            buckets["clustering"].append(utility)
+        elif utility.is_low_ilp_compute:
+            buckets["low_ilp_compute"].append(utility)
+        else:
+            buckets["other"].append(utility)
+    return buckets

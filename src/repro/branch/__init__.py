@@ -1,0 +1,19 @@
+"""Branch-prediction substrate: bimodal and gshare component predictors, a
+meta chooser combining them (the Table 1 "hybrid 8192-entry gshare /
+2048-entry bimodal" configuration), a set-associative BTB and a return
+address stack.
+"""
+
+from repro.branch.bimodal import BimodalPredictor
+from repro.branch.gshare import GsharePredictor
+from repro.branch.hybrid import HybridPredictor
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.ras import ReturnAddressStack
+
+__all__ = [
+    "BimodalPredictor",
+    "GsharePredictor",
+    "HybridPredictor",
+    "BranchTargetBuffer",
+    "ReturnAddressStack",
+]

@@ -1,0 +1,240 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list-workloads``
+    Print the Table 3 workloads (optionally one group).
+``list-benchmarks``
+    Print the Table 2 benchmark profiles.
+``run``
+    Run one workload under one policy and report per-thread IPCs and the
+    three Section 3.1.1 metrics.
+``compare``
+    Run several policies on one workload side by side.
+``solo``
+    Stand-alone IPC of a single benchmark (the SingleIPC measurement).
+``surface``
+    The Figure 2 three-thread distribution surface.
+
+All simulation commands accept ``--scale smoke|bench|full`` plus explicit
+``--epochs`` / ``--epoch-size`` / ``--seed`` overrides.
+"""
+
+import argparse
+import sys
+
+from repro.core.hill_climbing import HillClimbingPolicy
+from repro.core.metrics import metric_by_name
+from repro.core.phase_hill import PhaseHillPolicy
+from repro.experiments.report import format_table
+from repro.experiments.runner import (
+    ExperimentScale,
+    compare_policies,
+    run_policy,
+    solo_ipc,
+)
+from repro.policies import BASELINE_POLICIES
+from repro.workloads.mixes import GROUPS, get_workload, workload_names
+from repro.workloads.spec2000 import PROFILES, get_profile
+
+_SCALES = {
+    "smoke": ExperimentScale.smoke,
+    "bench": ExperimentScale.bench,
+    "full": ExperimentScale.full,
+}
+
+
+def _policy_factory(name, scale):
+    """Resolve a policy name (baselines + HILL[-metric] + PHASE-HILL)."""
+    upper = name.upper()
+    if upper in BASELINE_POLICIES:
+        return BASELINE_POLICIES[upper]
+    if upper.startswith("PHASE-HILL") or upper.startswith("HILL"):
+        metric_name = "wipc"
+        if "-" in upper:
+            suffix = upper.split("-")[-1]
+            if suffix in ("IPC", "WIPC", "HWIPC"):
+                metric_name = suffix.lower()
+        cls = PhaseHillPolicy if upper.startswith("PHASE") else \
+            HillClimbingPolicy
+        return lambda: cls(metric=metric_by_name(metric_name),
+                           software_cost=scale.hill_software_cost,
+                           sample_period=scale.hill_sample_period)
+    raise SystemExit(
+        "unknown policy %r (known: %s, HILL[-IPC|-WIPC|-HWIPC], PHASE-HILL)"
+        % (name, ", ".join(sorted(BASELINE_POLICIES)))
+    )
+
+
+def _scale_from(args):
+    scale = _SCALES[args.scale]()
+    overrides = {}
+    if args.epochs is not None:
+        overrides["epochs"] = args.epochs
+    if args.epoch_size is not None:
+        overrides["epoch_size"] = args.epoch_size
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    return scale.with_overrides(**overrides) if overrides else scale
+
+
+def _add_scale_args(parser):
+    parser.add_argument("--scale", choices=sorted(_SCALES), default="bench")
+    parser.add_argument("--epochs", type=int, default=None)
+    parser.add_argument("--epoch-size", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+
+
+def cmd_list_workloads(args):
+    names = workload_names(args.group)
+    rows = []
+    for name in names:
+        workload = get_workload(name)
+        rows.append([workload.name, workload.group, workload.num_threads,
+                     workload.rsc_sum])
+    print(format_table(["workload", "group", "threads", "Rsc sum"], rows))
+
+
+def cmd_list_benchmarks(args):
+    rows = [
+        [profile.name,
+         "%s %s" % ("FP" if profile.is_fp else "Int", profile.ctype),
+         profile.rsc_hint, profile.freq.value]
+        for profile in PROFILES.values()
+    ]
+    print(format_table(["benchmark", "type", "Rsc (paper)", "Freq"], rows))
+
+
+def _report_result(result):
+    print(format_table(
+        ["thread", "IPC", "SingleIPC"],
+        [[tid, ipc, single] for tid, (ipc, single)
+         in enumerate(zip(result.ipcs, result.single_ipcs))],
+    ))
+    print()
+    print(format_table(
+        ["metric", "value"],
+        [["avg IPC", result.avg_ipc],
+         ["weighted IPC", result.weighted_ipc],
+         ["harmonic weighted IPC", result.harmonic_weighted_ipc]],
+    ))
+
+
+def cmd_run(args):
+    scale = _scale_from(args)
+    workload = get_workload(args.workload)
+    policy = _policy_factory(args.policy, scale)()
+    print("running %s under %s (%d epochs x %d cycles)..."
+          % (workload.name, policy.name, scale.epochs, scale.epoch_size))
+    result = run_policy(workload, policy, scale)
+    _report_result(result)
+
+
+def cmd_compare(args):
+    scale = _scale_from(args)
+    workload = get_workload(args.workload)
+    factories = {
+        name: _policy_factory(name, scale) for name in args.policies
+    }
+    print("comparing %s on %s..." % (", ".join(factories), workload.name))
+    if len(args.seeds) > 1:
+        from repro.experiments.runner import run_policy_multi
+
+        rows = []
+        for name, factory in factories.items():
+            __, summary = run_policy_multi(workload, factory, scale,
+                                           seeds=args.seeds)
+            rows.append([name] + [
+                "%.3f +/- %.3f" % summary[metric]
+                for metric in ("avg_ipc", "weighted_ipc",
+                               "harmonic_weighted_ipc")
+            ])
+        print(format_table(
+            ["policy", "avg IPC", "weighted IPC", "harmonic weighted IPC"],
+            rows,
+        ))
+        return
+    results = compare_policies(workload, factories, scale)
+    print(format_table(
+        ["policy", "avg IPC", "weighted IPC", "harmonic weighted IPC"],
+        [[name, result.avg_ipc, result.weighted_ipc,
+          result.harmonic_weighted_ipc]
+         for name, result in results.items()],
+    ))
+
+
+def cmd_solo(args):
+    scale = _scale_from(args)
+    profile = get_profile(args.benchmark)
+    value = solo_ipc(profile, scale)
+    print("%s stand-alone IPC: %.3f" % (profile.name, value))
+
+
+def cmd_surface(args):
+    from repro.experiments.figures import fig2_surface
+
+    scale = _scale_from(args)
+    surface = fig2_surface(scale, benchmarks=tuple(args.benchmarks))
+    for share0, row in surface.rows():
+        print("share0=%3d: %s" % (share0, " ".join(
+            "%d:%.2f" % (share1, value) for share1, value in row)))
+    print("peak %.3f at %s" % (surface.peak_ipc, surface.peak_shares))
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Learning-based SMT resource distribution (ISCA 2006 "
+                    "reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    sub = commands.add_parser("list-workloads",
+                              help="the 42 Table 3 workloads")
+    sub.add_argument("--group", choices=GROUPS, default=None)
+    sub.set_defaults(func=cmd_list_workloads)
+
+    sub = commands.add_parser("list-benchmarks",
+                              help="the 22 Table 2 benchmarks")
+    sub.set_defaults(func=cmd_list_benchmarks)
+
+    sub = commands.add_parser("run", help="one workload under one policy")
+    sub.add_argument("--workload", required=True)
+    sub.add_argument("--policy", default="HILL")
+    _add_scale_args(sub)
+    sub.set_defaults(func=cmd_run)
+
+    sub = commands.add_parser("compare", help="several policies side by side")
+    sub.add_argument("--workload", required=True)
+    sub.add_argument("--policies", nargs="+",
+                     default=["ICOUNT", "FLUSH", "DCRA", "HILL"])
+    sub.add_argument("--seeds", nargs="+", type=int, default=[0],
+                     help="evaluate across several seeds (reports mean "
+                          "+/- stdev)")
+    _add_scale_args(sub)
+    sub.set_defaults(func=cmd_compare)
+
+    sub = commands.add_parser("solo", help="stand-alone IPC of a benchmark")
+    sub.add_argument("--benchmark", required=True)
+    _add_scale_args(sub)
+    sub.set_defaults(func=cmd_solo)
+
+    sub = commands.add_parser("surface",
+                              help="Figure 2 three-thread surface")
+    sub.add_argument("--benchmarks", nargs=3,
+                     default=["mesa", "vortex", "fma3d"])
+    _add_scale_args(sub)
+    sub.set_defaults(func=cmd_surface)
+
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""The paper's contribution: learning-based SMT resource distribution.
+
+* :mod:`repro.core.metrics` — the three SMT performance metrics
+  (Equations 1-3) used both to evaluate end performance and as the
+  learning-feedback signal.
+* :mod:`repro.core.partition` — share arithmetic (clamping, normalising,
+  candidate grids) over the integer-rename partition knob.
+* :mod:`repro.core.controller` — the epoch loop: runs fixed-size epochs,
+  computes performance feedback, invokes the policy.
+* :mod:`repro.core.hill_climbing` — the Figure 8 on-line hill-climbing
+  algorithm (the headline technique).
+* :mod:`repro.core.offline` — OFF-LINE: idealized exhaustive per-epoch
+  search via checkpointing (the Section 3 limit study).
+* :mod:`repro.core.rand_hill` — RAND-HILL: checkpointed multi-start
+  hill-climbing used as the 4-thread ideal (Section 4.3).
+* :mod:`repro.core.phase_hill` — the Section 5 extension: BBV phase
+  detection + Markov phase prediction to reuse learned partitions.
+"""
+
+from repro.core.metrics import (
+    AvgIPC,
+    HarmonicMeanWeightedIPC,
+    PerformanceMetric,
+    WeightedIPC,
+    metric_by_name,
+)
+from repro.core.controller import EpochController, EpochResult
+from repro.core.hill_climbing import HillClimbingPolicy
+from repro.core.offline import OfflineEpoch, OfflineExhaustiveLearner
+from repro.core.rand_hill import RandHillLearner
+from repro.core.phase_hill import PhaseHillPolicy
+
+__all__ = [
+    "PerformanceMetric",
+    "AvgIPC",
+    "WeightedIPC",
+    "HarmonicMeanWeightedIPC",
+    "metric_by_name",
+    "EpochController",
+    "EpochResult",
+    "HillClimbingPolicy",
+    "OfflineExhaustiveLearner",
+    "OfflineEpoch",
+    "RandHillLearner",
+    "PhaseHillPolicy",
+]

@@ -1,0 +1,109 @@
+"""The epoch loop.
+
+SMT execution is divided into fixed-size epochs (Section 3.1.1, default
+64K cycles).  Each epoch the controller:
+
+1. asks the policy whether this should be a *solo* epoch (the Section 4.2
+   SingleIPC sampling scheme) and restricts fetch accordingly;
+2. runs the processor for one epoch;
+3. computes per-thread IPCs from the committed-instruction counters; and
+4. hands the policy an :class:`EpochResult` so learning policies can update
+   the partition registers.
+
+Solo epochs count toward total cycles and committed instructions — the
+sampling cost is charged, as in the paper.
+"""
+
+from dataclasses import dataclass, field
+
+DEFAULT_EPOCH_SIZE = 64 * 1024
+
+
+@dataclass
+class EpochResult:
+    """Performance feedback for one completed epoch."""
+
+    epoch_id: int
+    kind: str                      # "normal" or "solo"
+    committed: list                # per-thread committed instructions
+    cycles: int                    # cycles charged to the epoch
+    ipcs: list = field(default_factory=list)
+    #: Integer-rename shares in force during the epoch (None: unpartitioned).
+    shares: list = None
+    #: Thread measured during a solo epoch.
+    solo_thread: int = None
+
+    def __post_init__(self):
+        if not self.ipcs:
+            cycles = max(self.cycles, 1)
+            self.ipcs = [count / cycles for count in self.committed]
+
+
+class EpochController:
+    """Drives one processor through a sequence of epochs.
+
+    Parameters
+    ----------
+    proc:
+        The :class:`~repro.pipeline.processor.SMTProcessor` (with its policy
+        already attached).
+    epoch_size:
+        Epoch length in cycles (the paper uses 64K).
+    """
+
+    def __init__(self, proc, epoch_size=DEFAULT_EPOCH_SIZE):
+        if epoch_size <= 0:
+            raise ValueError("epoch_size must be positive")
+        self.proc = proc
+        self.epoch_size = epoch_size
+        self.epoch_id = 0
+        self.history = []
+        # Whole-run accounting baseline.  Computed from the processor's
+        # cumulative stats (not by summing epoch deltas) so cycles charged
+        # by ``charge_stall`` inside ``on_epoch_end`` — the hill climber's
+        # software cost — are not lost between epochs.
+        self._start_stats = proc.stats.copy()
+
+    def run_epoch(self):
+        """Execute one epoch and return its :class:`EpochResult`."""
+        proc = self.proc
+        solo_thread = proc.policy.plan_epoch(proc, self.epoch_id)
+        if solo_thread is not None:
+            proc.set_enabled({solo_thread})
+        before = proc.stats.copy()
+        proc.run(self.epoch_size)
+        committed, cycles = proc.stats.delta_since(before)
+        shares = proc.partitions.shares
+        result = EpochResult(
+            epoch_id=self.epoch_id,
+            kind="solo" if solo_thread is not None else "normal",
+            committed=committed,
+            cycles=cycles,
+            shares=None if shares is None else list(shares),
+            solo_thread=solo_thread,
+        )
+        if solo_thread is not None:
+            proc.enable_all()
+        proc.policy.on_epoch_end(proc, result)
+        self.history.append(result)
+        self.epoch_id += 1
+        return result
+
+    def run(self, num_epochs):
+        """Execute ``num_epochs`` epochs; returns their results."""
+        return [self.run_epoch() for __ in range(num_epochs)]
+
+    # -- aggregate accounting ------------------------------------------------
+
+    def totals(self):
+        """Whole-run per-thread committed counts and total cycles, including
+        any learning-overhead stall cycles charged between epochs."""
+        return self.proc.stats.delta_since(self._start_stats)
+
+    def overall_ipcs(self):
+        """Whole-run per-thread IPCs (solo/sampling epochs included, so
+        learning overhead is charged)."""
+        committed, cycles = self.totals()
+        if cycles == 0:
+            return [0.0] * self.proc.num_threads
+        return [count / cycles for count in committed]

@@ -1,0 +1,156 @@
+"""The on-line hill-climbing resource-distribution algorithm (Figure 8).
+
+Learning proceeds in *rounds* of ``N`` epochs (one per thread).  During a
+round, each epoch's trial partitioning shifts ``Delta`` integer rename
+registers from every other thread to one favored thread — sampling the
+performance hill in all ``N`` directions around the current
+``anchor_partition``.  At the end of a round the anchor moves toward the
+best-performing direction (the positive gradient), and the next round
+begins.
+
+Faithfulness notes:
+
+* ``Delta = 4`` by default, as in the paper.
+* The paper charges a 200-cycle full-machine stall per algorithm
+  invocation (its software implementation cost); so do we, via
+  ``charge_stall``.
+* Metrics that need ``SingleIPC_i`` learn it on-line: every
+  ``sample_period`` epochs one thread runs solo for an epoch (Section 4.2);
+  the sample epoch is charged to the run but not used as a learning trial.
+* The IQ and ROB partitions follow the rename shares proportionally
+  (Section 3.1.2) via ``PartitionRegisters.set_shares``.
+"""
+
+from repro.core.metrics import WeightedIPC
+from repro.core.partition import shift_shares
+from repro.pipeline.resources import equal_shares
+from repro.policies.base import ResourcePolicy
+
+DEFAULT_DELTA = 4
+DEFAULT_SOFTWARE_COST = 200
+DEFAULT_SAMPLE_PERIOD = 40
+
+
+class HillClimbingPolicy(ResourcePolicy):
+    """Figure 8: learning-based partitioning via hill-climbing.
+
+    Parameters
+    ----------
+    metric:
+        The performance-feedback metric (default: weighted IPC, i.e. the
+        paper's HILL-WIPC).
+    delta:
+        Registers shifted per sampling step.
+    software_cost:
+        Cycles the whole machine stalls per algorithm invocation.
+    sample_period:
+        A SingleIPC sample epoch is inserted every this many epochs (only
+        for metrics that need SingleIPC).  ``None`` disables sampling.
+    """
+
+    name = "HILL"
+
+    def __init__(self, metric=None, delta=DEFAULT_DELTA,
+                 software_cost=DEFAULT_SOFTWARE_COST,
+                 sample_period=DEFAULT_SAMPLE_PERIOD):
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.metric = metric if metric is not None else WeightedIPC()
+        self.delta = delta
+        self.software_cost = software_cost
+        self.sample_period = sample_period
+        self.name = "HILL-%s" % self.metric.name
+        # Learning state (initialised in attach).
+        self.anchor = None
+        self.perf = None
+        self.learn_epoch = 0
+        self.single_ipc = None
+        self._total = 0
+        self._minimum = 0
+        self._num_threads = 0
+        self._sample_count = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def attach(self, proc):
+        config = proc.config
+        self._num_threads = proc.num_threads
+        self._total = config.rename_int
+        self._minimum = config.min_partition
+        self.anchor = equal_shares(config, proc.num_threads)
+        self.perf = [0.0] * proc.num_threads
+        self.learn_epoch = 0
+        self.single_ipc = [None] * proc.num_threads
+        self._sample_count = 0
+        self._apply_trial(proc)
+
+    # -- sampling schedule -----------------------------------------------------
+
+    def plan_epoch(self, proc, epoch_id):
+        """Request a solo epoch every ``sample_period`` epochs (per thread in
+        rotation), only for metrics that need SingleIPC."""
+        if not self.metric.needs_single_ipc or not self.sample_period:
+            return None
+        if proc.num_threads < 2:
+            return None
+        if epoch_id % self.sample_period == 0:
+            thread = self._sample_count % proc.num_threads
+            self._sample_count += 1
+            return thread
+        return None
+
+    # -- the Figure 8 algorithm ---------------------------------------------
+
+    def on_epoch_end(self, proc, epoch):
+        if epoch.kind == "solo":
+            self.single_ipc[epoch.solo_thread] = epoch.ipcs[epoch.solo_thread]
+            # Re-apply the current trial; the solo epoch is not a sample of
+            # the hill, so the learning round continues where it left off.
+            self._apply_trial(proc)
+            return
+        proc.charge_stall(self.software_cost)
+        num = self._num_threads
+        # Line 7: record the previous epoch's performance for the direction
+        # it sampled.
+        index = self.learn_epoch % num
+        self.perf[index] = self.feedback(epoch.ipcs)
+        # Lines 8-15: at the end of a round, move the anchor along the
+        # positive gradient.
+        if index == num - 1:
+            gradient_thread = max(range(num), key=lambda i: self.perf[i])
+            self.anchor = shift_shares(
+                self.anchor, gradient_thread, self.delta,
+                self._total, self._minimum,
+            )
+        # Line 16 + lines 17-21: next epoch's trial favors the next thread.
+        self.learn_epoch += 1
+        self._apply_trial(proc)
+
+    def feedback(self, ipcs):
+        """The learning signal: the configured metric over the epoch's IPCs,
+        using dynamically sampled SingleIPC estimates (1.0 until a thread
+        has been sampled)."""
+        if self.metric.needs_single_ipc:
+            return self.metric.value(ipcs, self.single_ipc)
+        return self.metric.value(ipcs)
+
+    def _apply_trial(self, proc):
+        favored = self.learn_epoch % self._num_threads
+        trial = shift_shares(
+            self.anchor, favored, self.delta, self._total, self._minimum
+        )
+        proc.partitions.set_shares(trial)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def current_anchor(self):
+        """The best partitioning found so far (a copy)."""
+        return list(self.anchor)
+
+
+def make_hill_policy(metric_name, **kwargs):
+    """Convenience: HILL-IPC / HILL-WIPC / HILL-HWIPC by metric name."""
+    from repro.core.metrics import metric_by_name
+
+    return HillClimbingPolicy(metric=metric_by_name(metric_name), **kwargs)

@@ -1,0 +1,106 @@
+"""SMT performance metrics (Section 3.1.1, Equations 1-3).
+
+Each metric maps per-thread IPCs (and, for the weighted metrics, the
+threads' stand-alone ``SingleIPC`` values) to a single score:
+
+* :class:`AvgIPC` — throughput (Equation 1).
+* :class:`WeightedIPC` — average weighted IPC, i.e. execution-time
+  reduction (Equation 2).
+* :class:`HarmonicMeanWeightedIPC` — harmonic mean of weighted IPC,
+  rewarding both performance and fairness (Equation 3).
+
+The same objects serve two roles: evaluating end performance and acting as
+the learning-feedback signal (hill-climbing "directly optimizes" whichever
+metric it is given).
+"""
+
+_EPSILON = 1e-9
+
+
+class PerformanceMetric:
+    """Interface: combine per-thread IPCs into one score."""
+
+    name = "metric"
+    #: Whether :meth:`value` requires stand-alone SingleIPC values.
+    needs_single_ipc = False
+
+    def value(self, ipcs, single_ipcs=None):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return "<%s>" % (self.name,)
+
+
+class AvgIPC(PerformanceMetric):
+    """Equation 1: sum of per-thread IPCs (total throughput)."""
+
+    name = "avg_ipc"
+
+    def value(self, ipcs, single_ipcs=None):
+        return float(sum(ipcs))
+
+
+class WeightedIPC(PerformanceMetric):
+    """Equation 2: mean of IPC_i / SingleIPC_i."""
+
+    name = "weighted_ipc"
+    needs_single_ipc = True
+
+    def value(self, ipcs, single_ipcs=None):
+        single_ipcs = _checked_single(ipcs, single_ipcs)
+        total = 0.0
+        for ipc, single in zip(ipcs, single_ipcs):
+            total += ipc / max(single, _EPSILON)
+        return total / len(ipcs)
+
+
+class HarmonicMeanWeightedIPC(PerformanceMetric):
+    """Equation 3: T / sum(SingleIPC_i / IPC_i).
+
+    Returns 0 when any thread made no progress — a starved thread is the
+    worst possible fairness outcome.
+    """
+
+    name = "harmonic_weighted_ipc"
+    needs_single_ipc = True
+
+    def value(self, ipcs, single_ipcs=None):
+        single_ipcs = _checked_single(ipcs, single_ipcs)
+        denominator = 0.0
+        for ipc, single in zip(ipcs, single_ipcs):
+            if ipc <= 0.0:
+                return 0.0
+            denominator += max(single, _EPSILON) / ipc
+        return len(ipcs) / denominator
+
+
+def _checked_single(ipcs, single_ipcs):
+    """Validate SingleIPC inputs; default to 1.0 for unsampled threads."""
+    if single_ipcs is None:
+        return [1.0] * len(ipcs)
+    if len(single_ipcs) != len(ipcs):
+        raise ValueError(
+            "expected %d SingleIPC values, got %d" % (len(ipcs), len(single_ipcs))
+        )
+    return [1.0 if single is None else single for single in single_ipcs]
+
+
+_METRICS = {
+    metric.name: metric for metric in (AvgIPC(), WeightedIPC(), HarmonicMeanWeightedIPC())
+}
+_ALIASES = {
+    "ipc": "avg_ipc",
+    "wipc": "weighted_ipc",
+    "hwipc": "harmonic_weighted_ipc",
+}
+
+
+def metric_by_name(name):
+    """Look up a metric instance by name or alias (ipc/wipc/hwipc)."""
+    key = _ALIASES.get(name.lower(), name.lower())
+    try:
+        return _METRICS[key]
+    except KeyError:
+        raise KeyError(
+            "unknown metric %r (known: %s)" % (name, ", ".join(sorted(_METRICS)))
+        ) from None

@@ -1,0 +1,89 @@
+"""Share arithmetic over the partition knob (integer rename registers).
+
+The hill climber moves shares by +/- Delta; these helpers keep any proposed
+share vector legal: every entry at least the configured minimum and the
+total exactly equal to the rename-pool size.  Also provides the candidate
+grids the OFF-LINE learner sweeps.
+"""
+
+
+def clamp_shares(shares, total, minimum):
+    """Return a legal share vector close to ``shares``.
+
+    Entries are clamped to ``minimum``; the remaining surplus/deficit is
+    then taken from (or given to) the largest entries so the vector sums to
+    ``total`` exactly.
+    """
+    count = len(shares)
+    if count == 0:
+        raise ValueError("shares must be non-empty")
+    if total < minimum * count:
+        raise ValueError(
+            "total %d cannot give %d threads the minimum %d" % (total, count, minimum)
+        )
+    clamped = [max(minimum, int(share)) for share in shares]
+    diff = total - sum(clamped)
+    if diff > 0:
+        # Give the surplus to the smallest entries first (keeps the vector
+        # close to what the caller asked for).
+        order = sorted(range(count), key=lambda i: clamped[i])
+        index = 0
+        while diff > 0:
+            clamped[order[index % count]] += 1
+            diff -= 1
+            index += 1
+    elif diff < 0:
+        # Take the deficit from the largest entries, never below minimum.
+        while diff < 0:
+            candidates = [i for i in range(count) if clamped[i] > minimum]
+            target = max(candidates, key=lambda i: clamped[i])
+            take = min(clamped[target] - minimum, -diff)
+            clamped[target] -= take
+            diff += take
+    return clamped
+
+
+def shift_shares(anchor, favored, delta, total, minimum):
+    """The Figure 8 move: give ``favored`` Delta*(N-1) entries taken Delta
+    apiece from every other thread, then re-legalise."""
+    count = len(anchor)
+    proposal = list(anchor)
+    for index in range(count):
+        if index == favored:
+            proposal[index] += delta * (count - 1)
+        else:
+            proposal[index] -= delta
+    return clamp_shares(proposal, total, minimum)
+
+
+def share_grid(num_threads, total, minimum, stride):
+    """All share vectors on a stride grid (the OFF-LINE search space).
+
+    For two threads this is the paper's "every ``stride``-th partitioning of
+    the integer rename registers"; for more threads it generalises to every
+    composition on the grid.  Vectors are yielded deterministically.
+    """
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    if total < minimum * num_threads:
+        raise ValueError("total too small for the minimum partition")
+
+    def compositions(remaining_threads, remaining_total, prefix):
+        if remaining_threads == 1:
+            last = remaining_total
+            if last >= minimum:
+                yield prefix + [last]
+            return
+        lower = minimum
+        upper = remaining_total - minimum * (remaining_threads - 1)
+        for share in range(lower, upper + 1, stride):
+            yield from compositions(
+                remaining_threads - 1, remaining_total - share, prefix + [share]
+            )
+
+    yield from compositions(num_threads, total, [])
+
+
+def grid_size(num_threads, total, minimum, stride):
+    """Number of vectors :func:`share_grid` will yield (for sizing runs)."""
+    return sum(1 for __ in share_grid(num_threads, total, minimum, stride))

@@ -1,0 +1,82 @@
+"""Phase-based hill-climbing (Section 5).
+
+Hill-climbing's main limitation is finite learning time: every time the
+workload's behaviour changes, the climber must re-walk the hill.  This
+extension attacks that with phase detection and prediction:
+
+* Each epoch's BBV signature is classified into a phase ID
+  (:class:`~repro.phase.detector.PhaseTable`).  When a previously seen
+  phase recurs, the anchor partitioning learned for it last time is
+  restored immediately instead of being re-learned.
+* An RLE Markov predictor (:class:`~repro.phase.predictor.RLEMarkovPredictor`)
+  predicts the next epoch's phase; when the prediction names a different,
+  already-learned phase, its anchor is adopted ahead of time.
+
+The paper reports a modest overall win (+0.4%) concentrated in
+temporally-limited (TL) workloads (+2.1%); the Section 5 bench checks the
+same pattern.
+"""
+
+from repro.core.hill_climbing import HillClimbingPolicy
+from repro.phase.bbv import BBVCollector
+from repro.phase.detector import PhaseTable
+from repro.phase.predictor import RLEMarkovPredictor
+
+
+class PhaseHillPolicy(HillClimbingPolicy):
+    """Hill-climbing with per-phase anchor memory and phase prediction."""
+
+    def __init__(self, metric=None, delta=None, software_cost=None,
+                 sample_period=None, bbv_buckets=64, phase_capacity=128,
+                 phase_threshold=1.0, predictor_entries=2048):
+        kwargs = {}
+        if delta is not None:
+            kwargs["delta"] = delta
+        if software_cost is not None:
+            kwargs["software_cost"] = software_cost
+        if sample_period is not None:
+            kwargs["sample_period"] = sample_period
+        super().__init__(metric=metric, **kwargs)
+        self.name = "PHASE-%s" % self.metric.name
+        self.bbv_buckets = bbv_buckets
+        self.phase_table = PhaseTable(capacity=phase_capacity,
+                                      threshold=phase_threshold)
+        self.phase_predictor = RLEMarkovPredictor(entries=predictor_entries)
+        self.phase_anchor = {}       # phase_id -> learned anchor shares
+        self.current_phase = None
+        self.phase_reuses = 0
+        self.phase_switches = 0
+
+    def attach(self, proc):
+        super().attach(proc)
+        proc.bbv = BBVCollector(proc.num_threads, buckets=self.bbv_buckets)
+        self.current_phase = None
+
+    def on_epoch_end(self, proc, epoch):
+        if epoch.kind == "solo":
+            super().on_epoch_end(proc, epoch)
+            return
+        signature = proc.bbv.harvest()
+        phase_id = self.phase_table.classify(signature)
+        if phase_id != self.current_phase:
+            self.phase_switches += 1
+            stored = self.phase_anchor.get(phase_id)
+            if stored is not None:
+                # Re-entering a learned phase: skip re-learning and resume
+                # from its best-known partitioning.
+                self.anchor = list(stored)
+                self.phase_reuses += 1
+            self.current_phase = phase_id
+        self.phase_predictor.observe(phase_id)
+        # Run the normal Figure 8 update against the (possibly restored)
+        # anchor, then bank the refined anchor for this phase.
+        super().on_epoch_end(proc, epoch)
+        self.phase_anchor[phase_id] = list(self.anchor)
+        # If the predictor expects a different, already-learned phase next
+        # epoch, adopt its anchor ahead of the change.
+        predicted = self.phase_predictor.predict_next()
+        if predicted is not None and predicted != phase_id:
+            stored = self.phase_anchor.get(predicted)
+            if stored is not None:
+                self.anchor = list(stored)
+                self._apply_trial(proc)

@@ -1,0 +1,140 @@
+"""RAND-HILL: checkpointed multi-start hill-climbing (Section 4.3).
+
+Exhaustive search is intractable for 4-thread machines, so the paper's
+4-thread ideal runs the Figure 8 hill climber *with checkpointing*: every
+trial restores machine state to the epoch-start checkpoint (zero overhead),
+and when a pass reaches a peak a new pass starts from a random anchor.
+The search for one epoch stops after ``budget`` total trials (128 in the
+paper); the best partitioning found is then used to advance the machine.
+"""
+
+import random
+from dataclasses import dataclass
+
+from repro.core.controller import EpochResult
+from repro.core.metrics import WeightedIPC
+from repro.core.partition import clamp_shares, shift_shares
+from repro.pipeline.checkpoint import Checkpoint
+
+
+@dataclass
+class RandHillEpoch:
+    """One RAND-HILL epoch: best found + search statistics."""
+
+    epoch_id: int
+    best_shares: tuple
+    best_value: float
+    trials: int
+    passes: int
+    result: EpochResult
+
+
+class RandHillLearner:
+    """Multi-start hill-climbing over each epoch via checkpoints."""
+
+    def __init__(self, proc, epoch_size, metric=None, single_ipcs=None,
+                 delta=4, budget=128, seed=0):
+        if budget <= 0:
+            raise ValueError("budget must be positive")
+        self.proc = proc
+        self.epoch_size = epoch_size
+        self.metric = metric if metric is not None else WeightedIPC()
+        self.single_ipcs = single_ipcs
+        self.delta = delta
+        self.budget = budget
+        self.rng = random.Random(seed)
+        self.epoch_id = 0
+        self.epochs = []
+        self._start_stats = proc.stats.copy()
+
+    def _evaluate(self, checkpoint, shares):
+        trial = checkpoint.materialize()
+        trial.partitions.set_shares(shares)
+        before = trial.stats.copy()
+        trial.run(self.epoch_size)
+        committed, cycles = trial.stats.delta_since(before)
+        ipcs = [count / max(cycles, 1) for count in committed]
+        if self.metric.needs_single_ipc:
+            return self.metric.value(ipcs, self.single_ipcs)
+        return self.metric.value(ipcs)
+
+    def _random_anchor(self, num_threads, total, minimum):
+        raw = [self.rng.randrange(minimum, total) for __ in range(num_threads)]
+        scale = total / max(1, sum(raw))
+        return clamp_shares([share * scale for share in raw], total, minimum)
+
+    def run_epoch(self):
+        """Search the current epoch with a ``budget``-trial multi-start hill
+        climb, then advance with the best partitioning found."""
+        proc = self.proc
+        config = proc.config
+        num = proc.num_threads
+        total = config.rename_int
+        minimum = config.min_partition
+        checkpoint = Checkpoint(proc)
+
+        remaining = self.budget
+        passes = 0
+        best_shares = None
+        best_value = None
+        while remaining > 0:
+            passes += 1
+            anchor = self._random_anchor(num, total, minimum)
+            previous_round_best = None
+            while remaining > 0:
+                round_best_value = None
+                round_best_thread = None
+                for favored in range(num):
+                    if remaining == 0:
+                        break
+                    trial = shift_shares(anchor, favored, self.delta, total, minimum)
+                    value = self._evaluate(checkpoint, trial)
+                    remaining -= 1
+                    if best_value is None or value > best_value:
+                        best_value = value
+                        best_shares = tuple(trial)
+                    if round_best_value is None or value > round_best_value:
+                        round_best_value = value
+                        round_best_thread = favored
+                if round_best_value is None:
+                    break
+                if previous_round_best is not None and \
+                        round_best_value <= previous_round_best:
+                    break  # peak reached: start a new pass
+                previous_round_best = round_best_value
+                anchor = shift_shares(anchor, round_best_thread, self.delta,
+                                      total, minimum)
+
+        self.proc = checkpoint.materialize()
+        self.proc.partitions.set_shares(list(best_shares))
+        before = self.proc.stats.copy()
+        self.proc.run(self.epoch_size)
+        committed, cycles = self.proc.stats.delta_since(before)
+        result = EpochResult(
+            epoch_id=self.epoch_id,
+            kind="normal",
+            committed=committed,
+            cycles=cycles,
+            shares=list(best_shares),
+        )
+        epoch = RandHillEpoch(
+            epoch_id=self.epoch_id,
+            best_shares=best_shares,
+            best_value=best_value,
+            trials=self.budget - remaining,
+            passes=passes,
+            result=result,
+        )
+        self.epochs.append(epoch)
+        self.epoch_id += 1
+        return epoch
+
+    def run(self, num_epochs):
+        return [self.run_epoch() for __ in range(num_epochs)]
+
+    def overall_ipcs(self):
+        """Whole-run per-thread IPCs over the committed epochs."""
+        committed, cycles = self.proc.stats.delta_since(self._start_stats)
+        if cycles == 0:
+            return [0.0] * self.proc.num_threads
+        return [count / cycles for count in committed]

@@ -1,0 +1,32 @@
+"""Experiment drivers: one entry point per table/figure of the paper.
+
+`runner` provides the shared machinery (warmed runs, solo-IPC caching,
+policy comparisons); `sync` implements the checkpoint-synchronized
+time-varying comparisons of Figures 5/12; `figures` and `tables` expose
+``fig*``/``table*`` functions returning structured results; `ablations`
+covers the design-choice sweeps DESIGN.md calls out; `report` renders
+ASCII tables/series for the benches and examples.
+"""
+
+from repro.experiments.runner import (
+    ExperimentScale,
+    RunResult,
+    compare_policies,
+    run_policy,
+    solo_ipcs,
+)
+from repro.experiments.sync import synchronized_timeline
+from repro.experiments import figures, tables, ablations, report
+
+__all__ = [
+    "ExperimentScale",
+    "RunResult",
+    "run_policy",
+    "compare_policies",
+    "solo_ipcs",
+    "synchronized_timeline",
+    "figures",
+    "tables",
+    "ablations",
+    "report",
+]

@@ -1,0 +1,76 @@
+"""Ablation studies over the design choices DESIGN.md calls out.
+
+* Epoch size (Section 3.1.1: the paper settled on 64K cycles).
+* Hill-climbing Delta (Figure 8 uses 4).
+* SingleIPC sampling period (Section 4.2 uses 40 epochs).
+* Software-cost stall (the paper charges 200 cycles per invocation).
+* OFF-LINE search stride (search resolution vs quality).
+"""
+
+from repro.core.hill_climbing import HillClimbingPolicy
+from repro.core.metrics import WeightedIPC
+from repro.experiments.figures import run_offline
+from repro.experiments.runner import run_policy, solo_ipcs
+
+
+def epoch_size_sweep(workload, scale, epoch_sizes=(1024, 2048, 4096, 8192)):
+    """Hill-climbing weighted IPC as a function of epoch size.
+
+    Total simulated cycles are held constant across points so the
+    comparison is adaptivity, not run length.
+    """
+    budget = scale.epoch_size * scale.epochs
+    rows = []
+    for epoch_size in epoch_sizes:
+        sized = scale.with_overrides(epoch_size=epoch_size,
+                                     epochs=max(4, budget // epoch_size))
+        result = run_policy(workload, HillClimbingPolicy(), sized)
+        rows.append((epoch_size, result.weighted_ipc))
+    return rows
+
+
+def delta_sweep(workload, scale, deltas=(1, 2, 4, 8, 16)):
+    """Hill-climbing weighted IPC as a function of the step size Delta."""
+    rows = []
+    for delta in deltas:
+        result = run_policy(
+            workload, HillClimbingPolicy(delta=delta), scale
+        )
+        rows.append((delta, result.weighted_ipc))
+    return rows
+
+
+def sample_period_sweep(workload, scale, periods=(10, 20, 40, 80, None)):
+    """Weighted IPC vs the SingleIPC sampling period (None disables
+    sampling, leaving the 1.0 default estimates)."""
+    rows = []
+    for period in periods:
+        result = run_policy(
+            workload, HillClimbingPolicy(sample_period=period), scale
+        )
+        rows.append((period, result.weighted_ipc))
+    return rows
+
+
+def software_cost_sweep(workload, scale, costs=(0, 200, 1000, 5000)):
+    """Weighted IPC vs the per-invocation software stall charged."""
+    rows = []
+    for cost in costs:
+        result = run_policy(
+            workload, HillClimbingPolicy(software_cost=cost), scale
+        )
+        rows.append((cost, result.weighted_ipc))
+    return rows
+
+
+def offline_stride_sweep(workload, scale, strides=(32, 16, 8)):
+    """OFF-LINE weighted IPC vs search stride (finer = closer to ideal)."""
+    metric = WeightedIPC()
+    singles = solo_ipcs(workload, scale)
+    rows = []
+    for stride in strides:
+        learner = run_offline(
+            workload, scale.with_overrides(stride=stride), metric
+        )
+        rows.append((stride, metric.value(learner.overall_ipcs(), singles)))
+    return rows

@@ -1,0 +1,69 @@
+"""Result export: serialize experiment outputs to JSON or CSV.
+
+The figure drivers return plain dicts/dataclasses; these helpers flatten
+them into records a downstream notebook or plotting script can consume
+without importing the simulator.
+"""
+
+import csv
+import io
+import json
+
+
+def _jsonable(value):
+    """Recursively coerce experiment results into JSON-compatible types."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if hasattr(value, "__dataclass_fields__"):
+        return {
+            name: _jsonable(getattr(value, name))
+            for name in value.__dataclass_fields__
+        }
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "value"):  # enums
+        return value.value
+    return repr(value)
+
+
+def to_json(result, path=None, indent=2):
+    """Serialize any experiment result to JSON (string, or file when
+    ``path`` is given)."""
+    text = json.dumps(_jsonable(result), indent=indent, sort_keys=True)
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(text)
+            handle.write("\n")
+    return text
+
+
+def rows_to_csv(headers, rows, path=None):
+    """Write tabular rows (as produced by the figure drivers) to CSV."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow(row)
+    text = buffer.getvalue()
+    if path is not None:
+        with open(path, "w", newline="") as handle:
+            handle.write(text)
+    return text
+
+
+def figure_rows_to_records(rows):
+    """Flatten the common ``(workload, group, {policy: value})`` row shape
+    into one record per (workload, policy)."""
+    records = []
+    for entry in rows:
+        name, group, values = entry[0], entry[1], entry[2]
+        for policy, value in values.items():
+            records.append({
+                "workload": name,
+                "group": group,
+                "policy": policy,
+                "value": value,
+            })
+    return records

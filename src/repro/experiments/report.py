@@ -1,0 +1,132 @@
+"""ASCII rendering of experiment results (the harness prints the same rows
+and series the paper's tables/figures report)."""
+
+import math
+
+
+def format_table(headers, rows, float_digits=3):
+    """Render a list of rows as an aligned ASCII table."""
+
+    def cell(value):
+        if isinstance(value, float):
+            return "%.*f" % (float_digits, value)
+        return str(value)
+
+    text_rows = [[cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    line = "  ".join(header.ljust(width) for header, width in zip(headers, widths))
+    separator = "-" * len(line)
+    body = [
+        "  ".join(value.ljust(width) for value, width in zip(row, widths))
+        for row in text_rows
+    ]
+    return "\n".join([line, separator] + body)
+
+
+def format_series(series, width=60, label_width=12):
+    """Render {name: [values]} as small ASCII sparklines on a shared scale."""
+    blocks = " .:-=+*#%@"
+    flat = [value for values in series.values() for value in values]
+    if not flat:
+        return "(empty series)"
+    low, high = min(flat), max(flat)
+    span = (high - low) or 1.0
+    lines = []
+    for name, values in series.items():
+        sampled = values[:width]
+        marks = "".join(
+            blocks[min(len(blocks) - 1, int((value - low) / span * (len(blocks) - 1)))]
+            for value in sampled
+        )
+        lines.append("%s |%s| (%.3f..%.3f)" % (
+            name.ljust(label_width), marks, min(values), max(values)))
+    return "\n".join(lines)
+
+
+def render_partition_heatmap(offline_epochs, hill_shares=None, width=2):
+    """The Figure 12 view in ASCII: rows are partition settings, columns
+    are epochs, shading is the OFF-LINE-measured performance of that
+    partitioning in that epoch; ``O`` marks OFF-LINE's per-epoch best and
+    ``+`` the hill climber's partitioning when provided.
+
+    ``offline_epochs`` are :class:`~repro.core.offline.OfflineEpoch`;
+    ``hill_shares`` is an optional per-epoch list of the hill climber's
+    first-thread shares (same epoch indexing).
+    """
+    # Shade alphabet must not collide with the 'O' / '+' markers.
+    blocks = " .,:;=*#%@"
+    if not offline_epochs:
+        return "(no epochs)"
+    positions = [share for share, __ in
+                 offline_epochs[0].curve_over_first_share()]
+    values = {}
+    low = high = None
+    for column, epoch in enumerate(offline_epochs):
+        for share, value in epoch.curve_over_first_share():
+            values[(share, column)] = value
+            low = value if low is None else min(low, value)
+            high = value if high is None else max(high, value)
+    span = (high - low) or 1.0
+
+    def nearest(position_list, target):
+        return min(position_list, key=lambda p: abs(p - target))
+
+    lines = []
+    for share in reversed(positions):
+        cells = []
+        for column, epoch in enumerate(offline_epochs):
+            value = values.get((share, column))
+            shade = blocks[int((value - low) / span * (len(blocks) - 1))] \
+                if value is not None else " "
+            mark = shade
+            if nearest(positions, epoch.best_shares[0]) == share:
+                mark = "O"
+            if hill_shares is not None and column < len(hill_shares) and \
+                    nearest(positions, hill_shares[column]) == share:
+                mark = "+"
+            cells.append(mark * width)
+        lines.append("%4d |%s" % (share, "".join(cells)))
+    lines.append("     +%s  (cols: epochs; O=OFF-LINE best, +=HILL)"
+                 % ("-" * (width * len(offline_epochs))))
+    return "\n".join(lines)
+
+
+def pct_gain(new, base):
+    """Percentage gain of ``new`` over ``base``."""
+    if base == 0:
+        return 0.0
+    return 100.0 * (new - base) / base
+
+
+def geomean(values):
+    """Geometric mean (ignores non-positive values safely)."""
+    positives = [value for value in values if value > 0]
+    if not positives:
+        return 0.0
+    return math.exp(sum(math.log(value) for value in positives) / len(positives))
+
+
+def mean(values):
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def summarize_gains(results_by_workload, subject, baselines):
+    """Average % gain of ``subject`` over each baseline across workloads.
+
+    ``results_by_workload`` is {workload: {policy: value}}.
+    """
+    gains = {}
+    for baseline in baselines:
+        per_workload = [
+            pct_gain(values[subject], values[baseline])
+            for values in results_by_workload.values()
+            if values.get(baseline)
+        ]
+        gains[baseline] = mean(per_workload)
+    return gains

@@ -1,0 +1,243 @@
+"""Shared experiment machinery.
+
+Everything here is deterministic given (scale, seed): warmup runs the
+caches/predictors to steady state before measurement (the paper
+fast-forwards to SimPoint regions instead), and stand-alone SingleIPC runs
+are cached per (benchmark, config, seed) because every weighted metric
+needs them.
+"""
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.controller import EpochController
+from repro.core.metrics import AvgIPC, HarmonicMeanWeightedIPC, WeightedIPC
+from repro.pipeline.config import SMTConfig
+from repro.pipeline.processor import SMTProcessor
+from repro.policies.icount import ICountPolicy
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """One knob bundle controlling experiment cost.
+
+    The paper's scale (64K-cycle epochs, 1B-instruction windows, stride-2
+    exhaustive search) is out of reach for a Python simulator, so every
+    experiment takes a scale; EXPERIMENTS.md records which scale produced
+    the reported numbers.
+    """
+
+    config: SMTConfig
+    #: Epoch length in cycles.
+    epoch_size: int = 4096
+    #: Measured epochs per run.
+    epochs: int = 24
+    #: Unmeasured warmup cycles before the first epoch.
+    warmup: int = 24000
+    #: OFF-LINE / surface grid stride over the rename shares.
+    stride: int = 16
+    #: Workloads evaluated per Table 3 group (None: all seven).
+    workloads_per_group: int = None
+    #: RAND-HILL trial budget per epoch.
+    rand_hill_budget: int = 32
+    seed: int = 0
+
+    @classmethod
+    def smoke(cls):
+        """Unit-test scale: seconds per experiment."""
+        return cls(config=SMTConfig.tiny(), epoch_size=1024, epochs=6,
+                   warmup=2000, stride=8, workloads_per_group=2,
+                   rand_hill_budget=8)
+
+    @classmethod
+    def bench(cls):
+        """Benchmark-harness scale: the EXPERIMENTS.md numbers."""
+        return cls(config=SMTConfig.fast(), epoch_size=4096, epochs=40,
+                   warmup=12000, stride=16, workloads_per_group=None,
+                   rand_hill_budget=32)
+
+    @classmethod
+    def full(cls):
+        """Closest tractable approximation of the paper's scale."""
+        return cls(config=SMTConfig.paper(), epoch_size=65536, epochs=32,
+                   warmup=100000, stride=32, workloads_per_group=None,
+                   rand_hill_budget=128)
+
+    def with_overrides(self, **kwargs):
+        return replace(self, **kwargs)
+
+    @property
+    def hill_software_cost(self):
+        """Per-invocation software stall, scaled so it keeps the paper's
+        proportion (200 cycles per 64K-cycle epoch)."""
+        return max(1, 200 * self.epoch_size // 65536)
+
+    @property
+    def hill_sample_period(self):
+        """SingleIPC sampling period: the paper's 40 epochs.
+
+        Short scaled windows therefore take only one or two solo samples
+        (rotating threads); unsampled threads keep the 1.0 default
+        estimate.  Sampling more often measurably hurts — every solo epoch
+        idles the other threads — which the sample-period ablation
+        quantifies."""
+        return 40
+
+
+@dataclass
+class RunResult:
+    """Outcome of one (workload, policy) run."""
+
+    workload: str
+    policy: str
+    ipcs: list
+    committed: list
+    cycles: int
+    single_ipcs: list = None
+    epoch_history: list = field(default_factory=list)
+
+    @property
+    def avg_ipc(self):
+        return AvgIPC().value(self.ipcs)
+
+    @property
+    def weighted_ipc(self):
+        return WeightedIPC().value(self.ipcs, self.single_ipcs)
+
+    @property
+    def harmonic_weighted_ipc(self):
+        return HarmonicMeanWeightedIPC().value(self.ipcs, self.single_ipcs)
+
+    def metric_value(self, metric):
+        if metric.needs_single_ipc:
+            return metric.value(self.ipcs, self.single_ipcs)
+        return metric.value(self.ipcs)
+
+
+_SOLO_CACHE = {}
+
+
+def solo_ipc(profile, scale):
+    """Stand-alone IPC of one benchmark on the scaled machine (cached).
+
+    Measured as an end-to-end run over ``epochs * epoch_size`` cycles after
+    warmup — the paper's "SingleIPC from an end-to-end run".
+    """
+    key = (profile.name, scale.config, scale.epoch_size, scale.epochs,
+           scale.warmup, scale.seed)
+    if key in _SOLO_CACHE:
+        return _SOLO_CACHE[key]
+    proc = SMTProcessor(scale.config, [profile], seed=scale.seed,
+                        policy=ICountPolicy())
+    proc.run(scale.warmup)
+    before = proc.stats.copy()
+    proc.run(scale.epoch_size * scale.epochs)
+    committed, cycles = proc.stats.delta_since(before)
+    value = committed[0] / max(cycles, 1)
+    _SOLO_CACHE[key] = value
+    return value
+
+
+def solo_ipcs(workload, scale):
+    """SingleIPC_i for every thread of a workload."""
+    return [solo_ipc(profile, scale) for profile in workload.profiles]
+
+
+def clear_solo_cache():
+    _SOLO_CACHE.clear()
+
+
+def make_processor(workload, policy, scale, warm=True):
+    """Build (and optionally warm) a processor for a workload + policy."""
+    proc = SMTProcessor(scale.config, workload.profiles, seed=scale.seed,
+                        policy=policy)
+    if warm and scale.warmup:
+        proc.run(scale.warmup)
+    return proc
+
+
+def run_policy(workload, policy, scale, epochs=None):
+    """Run one policy over a workload for the scaled window.
+
+    Returns a :class:`RunResult` with SingleIPCs attached so every metric
+    of Section 3.1.1 can be evaluated on it.
+    """
+    proc = make_processor(workload, policy, scale)
+    controller = EpochController(proc, epoch_size=scale.epoch_size)
+    controller.run(epochs if epochs is not None else scale.epochs)
+    committed, cycles = controller.totals()
+    return RunResult(
+        workload=workload.name,
+        policy=policy.name,
+        ipcs=controller.overall_ipcs(),
+        committed=committed,
+        cycles=cycles,
+        single_ipcs=solo_ipcs(workload, scale),
+        epoch_history=controller.history,
+    )
+
+
+def run_policy_multi(workload, policy_factory, scale, seeds=(0, 1, 2),
+                     epochs=None):
+    """Run one policy across several workload seeds.
+
+    Returns (results, summary) where ``summary`` maps each Section 3.1.1
+    metric name to (mean, population stdev) across seeds — the variance a
+    single-seed experiment hides.
+    """
+    import statistics
+
+    results = []
+    for seed in seeds:
+        seeded = scale.with_overrides(seed=seed)
+        results.append(run_policy(workload, policy_factory(), seeded,
+                                  epochs=epochs))
+    summary = {}
+    for name, getter in (
+        ("avg_ipc", lambda result: result.avg_ipc),
+        ("weighted_ipc", lambda result: result.weighted_ipc),
+        ("harmonic_weighted_ipc",
+         lambda result: result.harmonic_weighted_ipc),
+    ):
+        values = [getter(result) for result in results]
+        spread = statistics.pstdev(values) if len(values) > 1 else 0.0
+        summary[name] = (statistics.mean(values), spread)
+    return results, summary
+
+
+def compare_policies(workload, policy_factories, scale, epochs=None):
+    """Run several policies on one workload.
+
+    ``policy_factories`` maps display name -> zero-argument callable
+    returning a fresh policy (policies are stateful, one per run).
+    Returns {name: RunResult}.
+    """
+    results = {}
+    for name, factory in policy_factories.items():
+        results[name] = run_policy(workload, factory(), scale, epochs=epochs)
+    return results
+
+
+def select_workloads(groups, scale):
+    """The Table 3 workloads for the given groups, honouring the scale's
+    per-group subset limit."""
+    from repro.workloads.mixes import workloads_in_group
+
+    selected = []
+    for group in groups:
+        members = workloads_in_group(group)
+        if scale.workloads_per_group is not None:
+            members = members[: scale.workloads_per_group]
+        selected.extend(members)
+    return selected
+
+
+def baseline_factories():
+    """The paper's three baselines (Figures 4/9/10)."""
+    from repro.policies.dcra import DCRAPolicy
+    from repro.policies.flush import FlushPolicy
+
+    return {
+        "ICOUNT": ICountPolicy,
+        "FLUSH": FlushPolicy,
+        "DCRA": DCRAPolicy,
+    }

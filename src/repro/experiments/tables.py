@@ -1,0 +1,97 @@
+"""Per-table experiment drivers (Tables 1-3)."""
+
+from repro.analysis.characteristics import (
+    derive_freq_label,
+    requirement_series,
+    resource_requirement,
+)
+from repro.workloads.mixes import GROUPS, workloads_in_group
+from repro.workloads.spec2000 import PROFILES
+
+
+def table1_configuration(config):
+    """The modelled machine as (parameter, value) rows — Table 1."""
+    rows = [
+        ("Bandwidth", "%d-Fetch, %d-Issue, %d-Commit" % (
+            config.fetch_width, config.issue_width, config.commit_width)),
+        ("Queue size", "%d-IFQ, %d-Int IQ, %d-FP IQ, %d-LSQ" % (
+            config.ifq_size, config.iq_int_size, config.iq_fp_size,
+            config.lsq_size)),
+        ("Rename reg / ROB", "%d-Int, %d-FP / %d entry" % (
+            config.rename_int, config.rename_fp, config.rob_size)),
+        ("Functional unit", "%d-Int Add, %d-Int Mul/Div, %d-Mem Port, "
+            "%d-FP Add, %d-FP Mul/Div" % (
+            config.fu_int_alu, config.fu_int_mul, config.fu_mem_port,
+            config.fu_fp_add, config.fu_fp_mul)),
+        ("Branch predictor", "Hybrid %d-entry gshare/%d-entry Bimod" % (
+            config.bp_gshare_entries, config.bp_bimodal_entries)),
+        ("Meta table/BTB/RAS", "%d / %d %d-way / %d" % (
+            config.bp_meta_entries, config.btb_entries, config.btb_assoc,
+            config.ras_depth)),
+        ("IL1 config", _cache_row(config.il1)),
+        ("DL1 config", _cache_row(config.dl1)),
+        ("UL2 config", _cache_row(config.ul2)),
+        ("Mem config", "%d cycle latency" % config.mem_latency),
+    ]
+    return rows
+
+
+def _cache_row(cache):
+    return "%dkbyte, %dbyte block, %d way, %d cycle lat" % (
+        cache.size_bytes // 1024, cache.block_bytes, cache.assoc,
+        cache.latency)
+
+
+def table2_characteristics(scale, benchmarks=None, epochs=10):
+    """Re-derive the Table 2 "Rsc" and "Freq" columns on the scaled machine.
+
+    Returns rows (name, type, paper Rsc hint, measured Rsc, paper Freq,
+    measured Freq).  Absolute Rsc values differ from the paper's (different
+    machine scale); the *ordering* (which benchmarks are resource-hungry)
+    is the reproduced claim.
+    """
+    names = benchmarks or list(PROFILES)
+    rows = []
+    step = max(8, scale.config.rename_int // 8)
+    for name in names:
+        profile = PROFILES[name]
+        measured_rsc = resource_requirement(
+            profile, scale.config, seed=scale.seed,
+            warmup=scale.warmup, window=scale.epoch_size * 2, step=step,
+        )
+        # The series windows are instruction counts (phase-aligned across
+        # caps); size them to one generator phase period.  The finer grid
+        # (and a threshold of ~1.5 grid steps) separates real requirement
+        # swings from level-crossing jitter on shallow curves.
+        series_step = max(4, scale.config.rename_int // 16)
+        series = requirement_series(
+            profile, scale.config, seed=scale.seed,
+            warmup=4000, window=4000,
+            epochs=epochs, step=series_step, level=0.90,
+        )
+        measured_freq = derive_freq_label(
+            series, scale.config.rename_int, threshold=1.5 * series_step)
+        rows.append({
+            "name": name,
+            "type": "%s %s" % ("FP" if profile.is_fp else "Int", profile.ctype),
+            "paper_rsc": profile.rsc_hint,
+            "measured_rsc": measured_rsc,
+            "paper_freq": profile.freq.value,
+            "measured_freq": measured_freq,
+        })
+    return rows
+
+
+def table3_workloads():
+    """The 42 Table 3 workloads with their summed Rsc hints."""
+    rows = []
+    for group in GROUPS:
+        for workload in workloads_in_group(group):
+            rows.append({
+                "name": workload.name,
+                "group": group,
+                "threads": workload.num_threads,
+                "rsc_sum": workload.rsc_sum,
+                "large": workload.is_large,
+            })
+    return rows

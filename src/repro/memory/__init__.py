@@ -1,0 +1,13 @@
+"""Memory-hierarchy substrate: set-associative caches and a three-level
+hierarchy (IL1 / DL1 / unified L2 / main memory) matching Table 1 of the
+paper.
+
+The hierarchy is the source of the long-latency load behaviour that the
+paper's resource-distribution policies react to (resource clog, FLUSH
+triggers, DCRA fast/slow classification, cache-miss clustering).
+"""
+
+from repro.memory.cache import Cache, CacheStats
+from repro.memory.hierarchy import AccessResult, MemoryHierarchy
+
+__all__ = ["Cache", "CacheStats", "MemoryHierarchy", "AccessResult"]

@@ -1,0 +1,21 @@
+"""Phase detection and prediction substrate (Section 5).
+
+* :class:`~repro.phase.bbv.BBVCollector` — per-context basic-block-vector
+  signatures (64 buckets per SMT context, as in the paper), collected from
+  committed control-flow instructions.
+* :class:`~repro.phase.detector.PhaseTable` — classifies epoch signatures
+  into up to 128 unique phase IDs (Sherwood-style signature matching).
+* :class:`~repro.phase.predictor.RLEMarkovPredictor` — a run-length-encoded
+  Markov predictor (2048 entries) for the next epoch's phase ID.
+"""
+
+from repro.phase.bbv import BBVCollector, signature_distance
+from repro.phase.detector import PhaseTable
+from repro.phase.predictor import RLEMarkovPredictor
+
+__all__ = [
+    "BBVCollector",
+    "signature_distance",
+    "PhaseTable",
+    "RLEMarkovPredictor",
+]

@@ -1,0 +1,48 @@
+"""Basic Block Vector signatures (Sherwood et al.), adapted to the SMT
+setting: one 64-bucket vector per hardware context, concatenated into a
+single epoch signature.
+
+The processor reports each committed control-flow instruction's PC; the
+PC identifies the basic block that ended there, which is hashed into a
+bucket.  At the end of an epoch :meth:`harvest` returns the normalized
+signature and clears the accumulators for the next epoch.
+"""
+
+
+def signature_distance(left, right):
+    """Manhattan distance between two normalized signatures (0..2)."""
+    if len(left) != len(right):
+        raise ValueError("signature lengths differ: %d vs %d" % (len(left), len(right)))
+    return sum(abs(a - b) for a, b in zip(left, right))
+
+
+class BBVCollector:
+    """Accumulates per-context BBV counts during an epoch."""
+
+    def __init__(self, num_threads, buckets=64):
+        if buckets <= 0:
+            raise ValueError("buckets must be positive")
+        self.num_threads = num_threads
+        self.buckets = buckets
+        self._counts = [[0] * buckets for __ in range(num_threads)]
+
+    def note(self, tid, pc):
+        """Record one committed control-flow instruction (called by the
+        processor's commit stage)."""
+        self._counts[tid][(pc >> 2) % self.buckets] += 1
+
+    def harvest(self):
+        """Return the concatenated normalized signature and reset.
+
+        Each context's vector is normalized independently so a slow thread
+        still contributes equally to phase identity.
+        """
+        signature = []
+        for counts in self._counts:
+            total = sum(counts)
+            if total == 0:
+                signature.extend(0.0 for __ in counts)
+            else:
+                signature.extend(count / total for count in counts)
+        self._counts = [[0] * self.buckets for __ in range(self.num_threads)]
+        return tuple(signature)

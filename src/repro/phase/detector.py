@@ -1,0 +1,54 @@
+"""Phase classification: map epoch signatures to stable phase IDs.
+
+An incoming signature is compared against the stored representative of
+every known phase; if the closest match is within ``threshold`` (Manhattan
+distance over normalized vectors) the signature joins that phase, else a
+new phase ID is allocated.  The default threshold (1.0) sits between the
+multinomial sampling noise of same-phase epochs (~0.3-0.6 at a few hundred
+control-flow commits per epoch) and the distance between genuinely
+different phases, which execute different code (~2.0 for disjoint branch
+footprints).  The table holds up to ``capacity`` phases
+(128 in the paper) with LRU replacement.
+"""
+
+from repro.phase.bbv import signature_distance
+
+
+class PhaseTable:
+    """Signature -> phase-ID classifier with bounded capacity."""
+
+    def __init__(self, capacity=128, threshold=1.0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.threshold = threshold
+        self._phases = {}  # phase_id -> representative signature
+        self._last_use = {}
+        self._next_id = 0
+        self._stamp = 0
+
+    def __len__(self):
+        return len(self._phases)
+
+    def classify(self, signature):
+        """Return the phase ID for ``signature`` (allocating if novel)."""
+        self._stamp += 1
+        best_id = None
+        best_distance = None
+        for phase_id, representative in self._phases.items():
+            distance = signature_distance(signature, representative)
+            if best_distance is None or distance < best_distance:
+                best_distance = distance
+                best_id = phase_id
+        if best_id is not None and best_distance <= self.threshold:
+            self._last_use[best_id] = self._stamp
+            return best_id
+        if len(self._phases) >= self.capacity:
+            victim = min(self._last_use, key=self._last_use.get)
+            del self._phases[victim]
+            del self._last_use[victim]
+        phase_id = self._next_id
+        self._next_id += 1
+        self._phases[phase_id] = tuple(signature)
+        self._last_use[phase_id] = self._stamp
+        return phase_id

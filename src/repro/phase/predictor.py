@@ -1,0 +1,68 @@
+"""Run-length-encoded Markov phase predictor (Sherwood et al., ISCA '03).
+
+State is the pair (current phase ID, length of the current run of that
+phase).  The table maps each observed state to the phase that followed it
+last time; prediction is a table lookup, defaulting to "same phase again"
+(the best static guess) on a miss.  The table holds 2048 entries in the
+paper's configuration, managed LRU.
+"""
+
+
+class RLEMarkovPredictor:
+    """(phase, run-length) -> next-phase predictor."""
+
+    def __init__(self, entries=2048, max_run_length=64):
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.entries = entries
+        self.max_run_length = max_run_length
+        self._table = {}     # (phase, run_length) -> next phase
+        self._last_use = {}
+        self._stamp = 0
+        self._current_phase = None
+        self._run_length = 0
+        self._last_prediction = None
+        self.lookups = 0
+        self.correct = 0
+
+    def _key(self, phase, run_length):
+        return (phase, min(run_length, self.max_run_length))
+
+    def predict_next(self):
+        """Predict the next epoch's phase from the current state."""
+        if self._current_phase is None:
+            return None
+        self.lookups += 1
+        key = self._key(self._current_phase, self._run_length)
+        prediction = self._table.get(key, self._current_phase)
+        self._last_prediction = prediction
+        return prediction
+
+    def observe(self, phase):
+        """Feed the actual phase of the epoch that just completed."""
+        self._stamp += 1
+        if self._current_phase is None:
+            self._current_phase = phase
+            self._run_length = 1
+            return
+        if self._last_prediction is not None and self._last_prediction == phase:
+            self.correct += 1
+        if phase != self._current_phase:
+            # The run just ended: remember what followed this state.
+            key = self._key(self._current_phase, self._run_length)
+            if key not in self._table and len(self._table) >= self.entries:
+                victim = min(self._last_use, key=self._last_use.get)
+                del self._table[victim]
+                del self._last_use[victim]
+            self._table[key] = phase
+            self._last_use[key] = self._stamp
+            self._current_phase = phase
+            self._run_length = 1
+        else:
+            self._run_length += 1
+
+    @property
+    def accuracy(self):
+        if self.lookups == 0:
+            return 0.0
+        return self.correct / self.lookups

@@ -1,0 +1,22 @@
+"""Cycle-level SMT out-of-order pipeline substrate.
+
+Models the Figure 3 machine: shared fetch (ICOUNT-arbitrated), per-thread
+IFQs with a shared capacity, rename/dispatch into shared integer/FP issue
+queues, rename-register pools, LSQ and a shared ROB; issue with functional
+unit contention; commit; branch-mispredict squash; and the per-thread
+resource occupancy counters + partition registers that the paper's
+learning-based policies program every epoch.
+"""
+
+from repro.pipeline.config import SMTConfig
+from repro.pipeline.processor import SMTProcessor
+from repro.pipeline.resources import PartitionRegisters, ResourceKind
+from repro.pipeline.stats import SMTStats
+
+__all__ = [
+    "SMTConfig",
+    "SMTProcessor",
+    "PartitionRegisters",
+    "ResourceKind",
+    "SMTStats",
+]

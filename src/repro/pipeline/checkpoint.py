@@ -1,0 +1,32 @@
+"""Processor checkpointing.
+
+The paper's OFF-LINE learner checkpoints "every processor and memory
+structure (register file, pipeline registers, branch predictors, caches) as
+well as main memory at the beginning of each epoch" and replays the epoch
+once per candidate partitioning.  Here the entire
+:class:`~repro.pipeline.processor.SMTProcessor` (including its attached
+policy and the workload streams' RNG state) is picklable, so a checkpoint
+is one serialized blob that can be materialized any number of times.
+"""
+
+import pickle
+
+
+class Checkpoint:
+    """An immutable snapshot of a processor (and its policy)."""
+
+    def __init__(self, proc):
+        self._blob = pickle.dumps(proc, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def materialize(self):
+        """Return a fresh, independent processor restored to the snapshot.
+
+        Every call returns a new object; mutating one materialization never
+        affects another.
+        """
+        return pickle.loads(self._blob)
+
+    @property
+    def size_bytes(self):
+        """Serialized size (useful for gauging checkpoint cost)."""
+        return len(self._blob)

@@ -1,0 +1,159 @@
+"""SMT machine configuration (the paper's Table 1), plus scaled presets.
+
+``SMTConfig.paper()`` is the Table 1 machine.  ``SMTConfig.fast()`` is a
+proportionally shrunk machine used by the benchmark harness so that epochs
+of a few thousand cycles exercise the same contention behaviour the paper
+sees at 64K cycles; ``SMTConfig.tiny()`` is for unit tests.
+"""
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry + latency of one cache level."""
+
+    size_bytes: int
+    block_bytes: int
+    assoc: int
+    latency: int
+
+
+@dataclass(frozen=True)
+class SMTConfig:
+    """Full machine description.
+
+    Defaults are the Table 1 values; use the factory classmethods rather
+    than relying on the defaults directly.
+    """
+
+    # Bandwidths (Table 1: 8-fetch, 8-issue, 8-commit).
+    fetch_width: int = 8
+    dispatch_width: int = 8
+    issue_width: int = 8
+    commit_width: int = 8
+    #: Threads that may fetch in the same cycle (ICOUNT.2.8 style).
+    fetch_threads: int = 2
+
+    # Queue sizes (Table 1: 32-IFQ, 80-Int IQ, 80-FP IQ, 256-LSQ).
+    ifq_size: int = 32
+    iq_int_size: int = 80
+    iq_fp_size: int = 80
+    lsq_size: int = 256
+
+    # Rename registers and ROB (Table 1: 256-Int, 256-FP / 512-entry ROB).
+    rename_int: int = 256
+    rename_fp: int = 256
+    rob_size: int = 512
+
+    # Functional units (Table 1).
+    fu_int_alu: int = 6
+    fu_int_mul: int = 3
+    fu_mem_port: int = 4
+    fu_fp_add: int = 3
+    fu_fp_mul: int = 3
+
+    # Operation latencies (cycles).
+    lat_int_alu: int = 1
+    lat_int_mul: int = 3
+    lat_fp_add: int = 2
+    lat_fp_mul: int = 4
+    lat_branch: int = 1
+    lat_store: int = 1
+
+    # Front-end behaviour.
+    mispredict_penalty: int = 10
+
+    # Branch predictor (Table 1: hybrid 8192 gshare / 2048 bimodal,
+    # 8192 meta, 2048-entry 4-way BTB, 64-entry RAS).
+    bp_gshare_entries: int = 8192
+    bp_bimodal_entries: int = 2048
+    bp_meta_entries: int = 8192
+    btb_entries: int = 2048
+    btb_assoc: int = 4
+    ras_depth: int = 64
+
+    # Memory hierarchy (Table 1).
+    il1: CacheConfig = field(default_factory=lambda: CacheConfig(64 * 1024, 64, 2, 1))
+    dl1: CacheConfig = field(default_factory=lambda: CacheConfig(64 * 1024, 64, 2, 1))
+    ul2: CacheConfig = field(default_factory=lambda: CacheConfig(1024 * 1024, 64, 4, 20))
+    mem_latency: int = 300
+
+    #: Floor on any thread's partition of the integer rename registers; the
+    #: same fraction is applied to the IQ/ROB partitions.  Prevents
+    #: partition settings that starve a thread outright.
+    min_partition: int = 8
+
+    def __post_init__(self):
+        if self.rename_int < 2 * self.min_partition:
+            raise ValueError("rename_int too small for two minimum partitions")
+        if min(self.fetch_width, self.dispatch_width, self.issue_width,
+               self.commit_width) < 1:
+            raise ValueError("pipeline widths must be positive")
+
+    # -- presets ---------------------------------------------------------
+
+    @classmethod
+    def paper(cls):
+        """The exact Table 1 machine."""
+        return cls()
+
+    @classmethod
+    def fast(cls):
+        """A half-scale machine for the benchmark harness.
+
+        Pipeline structures are halved (128 integer rename registers,
+        256-entry ROB, 40-entry IQs).  Caches are halved, not quartered:
+        four co-scheduled synthetic working sets (4KB hot + 4KB code each)
+        must fit the L1s the way four SPEC threads fit the paper's 64KB
+        L1s, or 4-thread runs thrash the front end.
+        """
+        return cls(
+            ifq_size=16,
+            iq_int_size=40,
+            iq_fp_size=40,
+            lsq_size=128,
+            rename_int=128,
+            rename_fp=128,
+            rob_size=256,
+            bp_gshare_entries=4096,
+            bp_bimodal_entries=1024,
+            bp_meta_entries=4096,
+            btb_entries=1024,
+            il1=CacheConfig(32 * 1024, 64, 4, 1),
+            dl1=CacheConfig(32 * 1024, 64, 4, 1),
+            ul2=CacheConfig(512 * 1024, 64, 8, 20),
+            mem_latency=200,
+            min_partition=4,
+        )
+
+    @classmethod
+    def tiny(cls):
+        """A very small machine for unit tests."""
+        return cls(
+            fetch_width=4,
+            dispatch_width=4,
+            issue_width=4,
+            commit_width=4,
+            ifq_size=8,
+            iq_int_size=16,
+            iq_fp_size=16,
+            lsq_size=32,
+            rename_int=32,
+            rename_fp=32,
+            rob_size=64,
+            bp_gshare_entries=256,
+            bp_bimodal_entries=128,
+            bp_meta_entries=256,
+            btb_entries=64,
+            ras_depth=16,
+            il1=CacheConfig(4 * 1024, 64, 2, 1),
+            dl1=CacheConfig(4 * 1024, 64, 2, 1),
+            ul2=CacheConfig(64 * 1024, 64, 4, 10),
+            mem_latency=80,
+            min_partition=2,
+        )
+
+    def with_overrides(self, **kwargs):
+        """Return a copy with selected fields replaced (for ablations)."""
+        return replace(self, **kwargs)

@@ -1,0 +1,752 @@
+"""The cycle-level SMT out-of-order processor (Figure 3 of the paper).
+
+Pipeline per cycle, back to front so freed entries become available the
+same cycle: complete -> commit -> issue -> dispatch/rename -> fetch.
+
+Mechanisms modelled:
+
+* **Shared structures with per-thread occupancy counters** — IFQ (shared
+  capacity, per-thread queues), integer/FP issue queues, integer/FP rename
+  pools, LSQ, shared ROB.
+* **Partition registers + fetch-lock** — a thread at its partition limit in
+  any partitioned structure cannot fetch (and its dispatch blocks), exactly
+  the enforcement described in Section 3.2.
+* **ICOUNT-style fetch arbitration** — the attached policy orders eligible
+  threads each cycle; up to ``fetch_threads`` threads share the fetch width.
+* **Branch prediction and squash** — hybrid gshare/bimodal + BTB + RAS;
+  mispredicts squash younger instructions at resolve and charge a redirect
+  penalty; squashed instructions are re-fetched from a replay queue (the
+  usual trace-driven approximation of wrong-path execution).
+* **Cache hierarchy** — loads probe DL1/UL2/memory at issue; L2-missing
+  loads can cluster, which is the memory-level parallelism the paper's
+  learning exploits.  Policies can subscribe to L2-miss *detection* events
+  (used by FLUSH/STALL).
+* **Checkpointing** — the whole processor state (including stream RNGs) is
+  picklable; see :mod:`repro.pipeline.checkpoint`.
+"""
+
+import heapq
+from collections import deque
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.hybrid import HybridPredictor
+from repro.branch.ras import ReturnAddressStack
+from repro.memory.cache import Cache
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.resources import PartitionRegisters
+from repro.pipeline.stats import SMTStats
+from repro.workloads.generator import OpClass, SyntheticStream
+
+_INT_PRODUCERS = frozenset((OpClass.IALU, OpClass.IMUL, OpClass.LOAD, OpClass.CALL))
+_FP_PRODUCERS = frozenset((OpClass.FADD, OpClass.FMUL))
+
+
+class _ThreadState:
+    """Per-hardware-context state."""
+
+    __slots__ = (
+        "tid", "stream", "ras", "refetch", "ifq", "rob", "inflight",
+        "iq_int", "iq_fp", "ren_int", "ren_fp", "lsq",
+        "fetch_blocked_until", "policy_locked", "outstanding_l1",
+        "outstanding_l2", "last_fetch_block", "arch_call_depth",
+    )
+
+    def __init__(self, tid, stream, ras_depth):
+        self.tid = tid
+        self.stream = stream
+        self.ras = ReturnAddressStack(ras_depth)
+        self.refetch = deque()   # squashed instructions awaiting re-fetch
+        self.ifq = deque()
+        self.rob = deque()       # dispatched, uncommitted, program order
+        self.inflight = {}       # seq -> Instruction, dispatched & uncommitted
+        self.iq_int = 0
+        self.iq_fp = 0
+        self.ren_int = 0
+        self.ren_fp = 0
+        self.lsq = 0
+        self.fetch_blocked_until = 0
+        self.policy_locked = False
+        self.outstanding_l1 = 0  # issued loads past DL1, not yet complete
+        self.outstanding_l2 = 0  # issued loads gone to memory, not yet complete
+        self.last_fetch_block = -1
+        self.arch_call_depth = 0
+
+    @property
+    def icount(self):
+        """Front-end occupancy used by ICOUNT fetch priority."""
+        return len(self.ifq) + self.iq_int + self.iq_fp
+
+
+class SMTProcessor:
+    """Cycle-level SMT processor executing synthetic benchmark streams.
+
+    Parameters
+    ----------
+    config:
+        :class:`~repro.pipeline.config.SMTConfig` machine description.
+    profiles:
+        One :class:`~repro.workloads.profile.BenchmarkProfile` per hardware
+        context.
+    seed:
+        Workload reproducibility seed.
+    phase_period:
+        Optional per-stream phase period override (instructions).
+    policy:
+        A :class:`~repro.policies.base.ResourcePolicy`; defaults to plain
+        ICOUNT fetch with no partitioning.
+    warm_caches:
+        Pre-touch each thread's cache-resident regions into the hierarchy
+        at construction.  This stands in for the paper's fast-forwarding
+        (billions of instructions) — without it the L2 keeps warming for
+        hundreds of thousands of cycles and every measurement rides a
+        cold-start drift.  Disable for cold-start studies.
+    """
+
+    def __init__(self, config, profiles, seed=0, phase_period=None, policy=None,
+                 warm_caches=True, streams=None):
+        if not profiles:
+            raise ValueError("need at least one benchmark profile")
+        self.config = config
+        self.num_threads = len(profiles)
+        if streams is None:
+            streams = [
+                SyntheticStream(profile, thread_id=tid, seed=seed,
+                                phase_period=phase_period)
+                for tid, profile in enumerate(profiles)
+            ]
+        elif len(streams) != len(profiles):
+            raise ValueError("need one stream per profile")
+        self.threads = [
+            _ThreadState(tid, stream, config.ras_depth)
+            for tid, stream in enumerate(streams)
+        ]
+        self.enabled = set(range(self.num_threads))
+        self.partitions = PartitionRegisters(config, self.num_threads)
+        self.stats = SMTStats(self.num_threads)
+        # Per-context predictor state: sharing one global-history register
+        # between threads destroys gshare correlation (measured ~4x the
+        # solo mispredict rate), so each hardware context gets private
+        # predictor tables, as sim-ssmt does.
+        self.predictors = [
+            HybridPredictor(config.bp_gshare_entries, config.bp_bimodal_entries,
+                            config.bp_meta_entries)
+            for __ in range(self.num_threads)
+        ]
+        self.btbs = [
+            BranchTargetBuffer(config.btb_entries, config.btb_assoc)
+            for __ in range(self.num_threads)
+        ]
+        self.hierarchy = MemoryHierarchy(
+            il1=Cache("IL1", config.il1.size_bytes, config.il1.block_bytes,
+                      config.il1.assoc, config.il1.latency),
+            dl1=Cache("DL1", config.dl1.size_bytes, config.dl1.block_bytes,
+                      config.dl1.assoc, config.dl1.latency),
+            ul2=Cache("UL2", config.ul2.size_bytes, config.ul2.block_bytes,
+                      config.ul2.assoc, config.ul2.latency),
+            mem_latency=config.mem_latency,
+        )
+        self.cycle = 0
+        # Shared-structure totals (global capacity enforcement).
+        self.ifq_total = 0
+        self.iq_int_total = 0
+        self.iq_fp_total = 0
+        self.ren_int_total = 0
+        self.ren_fp_total = 0
+        self.lsq_total = 0
+        self.rob_total = 0
+        # Event state.
+        self._ready = []        # (order, instr, gen): dispatched, operands ready
+        self._completions = []  # (cycle, order, instr, gen)
+        self._detections = []   # (cycle, order, instr, gen): L2-miss detect
+        self._order = 0
+        self._commit_rr = 0
+        self._dispatch_rr = 0
+        self._detect_latency = config.dl1.latency + config.ul2.latency
+        #: Optional BBV collector (set by phase-aware policies); receives
+        #: every committed control-flow instruction's PC.
+        self.bbv = None
+        #: Optional :class:`~repro.pipeline.trace.PipelineTracer` for
+        #: per-instruction stage traces (debugging aid; None = off).
+        self.trace = None
+        if warm_caches:
+            self._warm_caches(profiles)
+        # Policy.
+        if policy is None:
+            from repro.policies.icount import ICountPolicy
+            policy = ICountPolicy()
+        self.policy = policy
+        policy.attach(self)
+
+    def _warm_caches(self, profiles):
+        """Pre-touch per-thread resident regions so measurement starts from
+        cache steady state (the fast-forward substitute).
+
+        Touch order is chosen for the LRU outcome a long-running mix would
+        reach: L2-resident regions first (they should live in the UL2 but
+        be LRU in the DL1), then the hot L1 regions and code footprints
+        (MRU everywhere).  Threads interleave region-by-region so neither
+        thread's lines monopolise recency.  Cache hit/miss statistics are
+        reset afterwards.
+        """
+        hierarchy = self.hierarchy
+        block = self.config.dl1.block_bytes
+        for region_attr, toucher in (
+            ("l2_region", hierarchy.load),
+            ("l1_region", hierarchy.load),
+        ):
+            for thread, profile in zip(self.threads, profiles):
+                base = getattr(thread.stream, "_base",
+                               thread.tid << 36)
+                offset = 0x1000_0000 if region_attr == "l2_region" else 0
+                for addr in range(base + offset,
+                                  base + offset + getattr(profile, region_attr),
+                                  block):
+                    toucher(addr)
+        for thread, profile in zip(self.threads, profiles):
+            base = getattr(thread.stream, "_base", thread.tid << 36)
+            for addr in range(base + 0x4000_0000,
+                              base + 0x4000_0000 + profile.code_footprint,
+                              block):
+                hierarchy.ifetch(addr)
+            # Branch-site code blocks.
+            for addr in range(base + 0x4800_0000,
+                              base + 0x4800_0000 + profile.branch_sites * 4,
+                              block):
+                hierarchy.ifetch(addr)
+        for cache in (hierarchy.il1, hierarchy.dl1, hierarchy.ul2):
+            cache.stats.accesses = 0
+            cache.stats.misses = 0
+
+    # ------------------------------------------------------------------
+    # Public control surface
+    # ------------------------------------------------------------------
+
+    def run(self, num_cycles):
+        """Advance the machine by ``num_cycles`` cycles."""
+        policy = self.policy
+        end = self.cycle + num_cycles
+        while self.cycle < end:
+            cycle = self.cycle
+            self._do_completions(cycle)
+            if self._detections:
+                self._do_detections(cycle)
+            self._do_commit()
+            self._do_issue(cycle)
+            self._do_dispatch()
+            self._do_fetch(cycle)
+            policy.on_cycle(self)
+            self.cycle += 1
+            self.stats.cycles += 1
+
+    def charge_stall(self, num_cycles):
+        """Freeze the whole machine for ``num_cycles`` (the paper charges a
+        200-cycle full-machine stall per hill-climbing invocation).
+
+        All pending event times and fetch blocks shift forward so no work
+        completes "for free" during the stall.
+        """
+        if num_cycles <= 0:
+            return
+        self.cycle += num_cycles
+        self.stats.cycles += num_cycles
+        self._completions = [
+            (when + num_cycles, order, instr, gen)
+            for when, order, instr, gen in self._completions
+        ]
+        self._detections = [
+            (when + num_cycles, order, instr, gen)
+            for when, order, instr, gen in self._detections
+        ]
+        for thread in self.threads:
+            if thread.fetch_blocked_until > self.cycle - num_cycles:
+                thread.fetch_blocked_until += num_cycles
+
+    def set_enabled(self, thread_ids):
+        """Restrict fetch/dispatch to the given hardware contexts (used for
+        the SingleIPC sampling epochs); others drain and sit idle."""
+        thread_ids = set(thread_ids)
+        unknown = thread_ids - set(range(self.num_threads))
+        if unknown:
+            raise ValueError("unknown thread ids: %r" % (sorted(unknown),))
+        self.enabled = thread_ids
+
+    def enable_all(self):
+        self.enabled = set(range(self.num_threads))
+
+    # ------------------------------------------------------------------
+    # Pipeline stages
+    # ------------------------------------------------------------------
+
+    def _do_completions(self, cycle):
+        completions = self._completions
+        while completions and completions[0][0] <= cycle:
+            __, __, instr, gen = heapq.heappop(completions)
+            if instr.gen != gen or instr.squashed:
+                continue
+            self._complete(cycle, instr)
+
+    def _complete(self, cycle, instr):
+        instr.done = True
+        if self.trace is not None:
+            self.trace.note("C", cycle, instr)
+        thread = self.threads[instr.thread]
+        dependents = instr.dependents
+        if dependents:
+            ready = self._ready
+            for consumer, gen in dependents:
+                if consumer.gen != gen or consumer.squashed or consumer.done:
+                    continue
+                consumer.remaining_srcs -= 1
+                if consumer.remaining_srcs == 0 and not consumer.issued:
+                    heapq.heappush(ready, (consumer.order, consumer, consumer.gen))
+            instr.dependents = []
+        op = instr.op
+        if op == OpClass.LOAD:
+            level = instr.mem_level
+            if level is not None and level != "L1":
+                thread.outstanding_l1 -= 1
+                if level == "MEM":
+                    thread.outstanding_l2 -= 1
+            self.policy.on_load_complete(self, instr)
+        elif op == OpClass.BRANCH:
+            self.stats.branches[instr.thread] += 1
+            if instr.prediction is not None:
+                self.predictors[instr.thread].update(
+                    instr.pc, instr.taken, instr.prediction)
+            if instr.taken:
+                self.btbs[instr.thread].insert(instr.pc, instr.pc + 64)
+            if instr.mispredicted:
+                self._recover_mispredict(cycle, instr)
+        elif instr.mispredicted:  # mispredicted return
+            self._recover_mispredict(cycle, instr)
+
+    def _recover_mispredict(self, cycle, instr):
+        thread = self.threads[instr.thread]
+        self.stats.mispredicts[instr.thread] += 1
+        if instr.prediction is not None:
+            history = (instr.prediction.history_at_predict << 1) | int(instr.taken)
+            self.predictors[instr.thread].repair_history(history)
+        self.squash_after(instr.thread, instr.seq)
+        resume = cycle + self.config.mispredict_penalty
+        if resume > thread.fetch_blocked_until:
+            thread.fetch_blocked_until = resume
+
+    def _do_detections(self, cycle):
+        detections = self._detections
+        while detections and detections[0][0] <= cycle:
+            __, __, instr, gen = heapq.heappop(detections)
+            if instr.gen != gen or instr.squashed or instr.done:
+                continue
+            self.policy.on_l2_miss_detected(self, instr)
+
+    def _do_commit(self):
+        if self.rob_total == 0:
+            return
+        budget = self.config.commit_width
+        threads = self.threads
+        num = self.num_threads
+        start = self._commit_rr
+        self._commit_rr = (start + 1) % num
+        progress = True
+        while budget > 0 and progress:
+            progress = False
+            for offset in range(num):
+                thread = threads[(start + offset) % num]
+                rob = thread.rob
+                while budget > 0 and rob and rob[0].done:
+                    instr = rob.popleft()
+                    thread.inflight.pop(instr.seq, None)
+                    self._release_back_end(thread, instr)
+                    self.stats.committed[thread.tid] += 1
+                    if self.bbv is not None and instr.op in OpClass.CTRL_OPS:
+                        self.bbv.note(thread.tid, instr.pc)
+                    if self.trace is not None:
+                        self.trace.note("R", self.cycle, instr)
+                    budget -= 1
+                    progress = True
+
+    def _release_back_end(self, thread, instr):
+        """Release rename/LSQ/ROB entries held until commit (or squash)."""
+        if instr.uses_int_rename:
+            thread.ren_int -= 1
+            self.ren_int_total -= 1
+        elif instr.uses_fp_rename:
+            thread.ren_fp -= 1
+            self.ren_fp_total -= 1
+        if instr.uses_lsq:
+            thread.lsq -= 1
+            self.lsq_total -= 1
+        self.rob_total -= 1
+
+    def _do_issue(self, cycle):
+        ready = self._ready
+        if not ready:
+            return
+        config = self.config
+        budget = config.issue_width
+        alu = config.fu_int_alu
+        mul = config.fu_int_mul
+        mem = config.fu_mem_port
+        fadd = config.fu_fp_add
+        fmul = config.fu_fp_mul
+        stash = []
+        while ready and budget > 0:
+            order, instr, gen = heapq.heappop(ready)
+            if instr.gen != gen or instr.squashed or instr.issued:
+                continue
+            op = instr.op
+            if op == OpClass.LOAD or op == OpClass.STORE:
+                if mem == 0:
+                    stash.append((order, instr, gen))
+                    continue
+                mem -= 1
+            elif op == OpClass.IMUL:
+                if mul == 0:
+                    stash.append((order, instr, gen))
+                    continue
+                mul -= 1
+            elif op == OpClass.FADD:
+                if fadd == 0:
+                    stash.append((order, instr, gen))
+                    continue
+                fadd -= 1
+            elif op == OpClass.FMUL:
+                if fmul == 0:
+                    stash.append((order, instr, gen))
+                    continue
+                fmul -= 1
+            else:  # IALU and control ops share the integer ALUs
+                if alu == 0:
+                    stash.append((order, instr, gen))
+                    continue
+                alu -= 1
+            self._issue_one(cycle, instr)
+            budget -= 1
+        for entry in stash:
+            heapq.heappush(ready, entry)
+
+    def _issue_one(self, cycle, instr):
+        config = self.config
+        thread = self.threads[instr.thread]
+        instr.issued = True
+        if self.trace is not None:
+            self.trace.note("I", cycle, instr)
+        op = instr.op
+        if op in OpClass.FP_OPS:
+            thread.iq_fp -= 1
+            self.iq_fp_total -= 1
+        else:
+            thread.iq_int -= 1
+            self.iq_int_total -= 1
+        if op == OpClass.LOAD:
+            result = self.hierarchy.load(instr.addr, cycle)
+            latency = result.latency
+            instr.mem_level = result.level
+            self.stats.loads[instr.thread] += 1
+            if result.missed_l1:
+                thread.outstanding_l1 += 1
+            if result.missed_l2:
+                thread.outstanding_l2 += 1
+                self.stats.l2_misses[instr.thread] += 1
+                if self.policy.wants_miss_detection:
+                    heapq.heappush(
+                        self._detections,
+                        (cycle + self._detect_latency, instr.order, instr, instr.gen),
+                    )
+        elif op == OpClass.STORE:
+            self.hierarchy.store(instr.addr, cycle)
+            latency = config.lat_store
+        elif op == OpClass.IALU:
+            latency = config.lat_int_alu
+        elif op == OpClass.IMUL:
+            latency = config.lat_int_mul
+        elif op == OpClass.FADD:
+            latency = config.lat_fp_add
+        elif op == OpClass.FMUL:
+            latency = config.lat_fp_mul
+        else:  # control
+            latency = config.lat_branch
+        heapq.heappush(
+            self._completions, (cycle + latency, instr.order, instr, instr.gen)
+        )
+
+    def _can_dispatch(self, thread, instr):
+        """Capacity + partition admission check for one instruction."""
+        config = self.config
+        partitions = self.partitions
+        tid = thread.tid
+        if self.rob_total >= config.rob_size:
+            return False
+        if len(thread.rob) >= partitions.limit_rob[tid]:
+            return False
+        op = instr.op
+        if op in OpClass.FP_OPS:
+            if self.iq_fp_total >= config.iq_fp_size:
+                return False
+            if self.ren_fp_total >= config.rename_fp:
+                return False
+        else:
+            if self.iq_int_total >= config.iq_int_size:
+                return False
+            if thread.iq_int >= partitions.limit_int_iq[tid]:
+                return False
+            if op in _INT_PRODUCERS:
+                if self.ren_int_total >= config.rename_int:
+                    return False
+                if thread.ren_int >= partitions.limit_int_rename[tid]:
+                    return False
+        if op == OpClass.LOAD or op == OpClass.STORE:
+            if self.lsq_total >= config.lsq_size:
+                return False
+        return True
+
+    def _do_dispatch(self):
+        if self.ifq_total == 0:
+            return
+        budget = self.config.dispatch_width
+        threads = self.threads
+        num = self.num_threads
+        start = self._dispatch_rr
+        self._dispatch_rr = (start + 1) % num
+        for offset in range(num):
+            if budget == 0:
+                break
+            thread = threads[(start + offset) % num]
+            if thread.tid not in self.enabled and not thread.ifq:
+                continue
+            ifq = thread.ifq
+            while budget > 0 and ifq:
+                instr = ifq[0]
+                if not self._can_dispatch(thread, instr):
+                    break
+                ifq.popleft()
+                self.ifq_total -= 1
+                self._dispatch_one(thread, instr)
+                budget -= 1
+
+    def _dispatch_one(self, thread, instr):
+        if self.trace is not None:
+            self.trace.note("D", self.cycle, instr)
+        instr.dispatched = True
+        instr.order = self._order
+        self._order += 1
+        instr.dependents = []
+        op = instr.op
+        if op in OpClass.FP_OPS:
+            thread.iq_fp += 1
+            self.iq_fp_total += 1
+            instr.uses_fp_rename = True
+            thread.ren_fp += 1
+            self.ren_fp_total += 1
+        else:
+            thread.iq_int += 1
+            self.iq_int_total += 1
+            if op in _INT_PRODUCERS:
+                instr.uses_int_rename = True
+                thread.ren_int += 1
+                self.ren_int_total += 1
+        if op == OpClass.LOAD or op == OpClass.STORE:
+            instr.uses_lsq = True
+            thread.lsq += 1
+            self.lsq_total += 1
+        thread.rob.append(instr)
+        self.rob_total += 1
+        thread.inflight[instr.seq] = instr
+        remaining = 0
+        inflight = thread.inflight
+        for src in instr.srcs:
+            producer = inflight.get(src)
+            if producer is not None and not producer.done and producer is not instr:
+                producer.dependents.append((instr, instr.gen))
+                remaining += 1
+        instr.remaining_srcs = remaining
+        if remaining == 0:
+            heapq.heappush(self._ready, (instr.order, instr, instr.gen))
+
+    def _fetch_eligible(self, cycle):
+        """Threads allowed to fetch this cycle, with partition-stall and
+        lock-cycle accounting."""
+        eligible = []
+        partitions = self.partitions
+        stats = self.stats
+        for thread in self.threads:
+            tid = thread.tid
+            if tid not in self.enabled:
+                continue
+            if thread.policy_locked:
+                stats.lock_cycles[tid] += 1
+                continue
+            if cycle < thread.fetch_blocked_until:
+                continue
+            if (thread.ren_int >= partitions.limit_int_rename[tid]
+                    or thread.iq_int >= partitions.limit_int_iq[tid]
+                    or len(thread.rob) >= partitions.limit_rob[tid]):
+                stats.partition_stall_cycles[tid] += 1
+                continue
+            eligible.append(tid)
+        return eligible
+
+    def _do_fetch(self, cycle):
+        if self.ifq_total >= self.config.ifq_size:
+            return
+        eligible = self._fetch_eligible(cycle)
+        if not eligible:
+            return
+        priority = self.policy.fetch_priority(self, eligible)
+        budget = self.config.fetch_width
+        for tid in priority[: self.config.fetch_threads]:
+            if budget == 0:
+                break
+            budget = self._fetch_thread(cycle, self.threads[tid], budget)
+
+    def _fetch_thread(self, cycle, thread, budget):
+        config = self.config
+        refetch = thread.refetch
+        stream = thread.stream
+        ifq = thread.ifq
+        while budget > 0:
+            if self.ifq_total >= config.ifq_size:
+                break
+            instr = refetch.popleft() if refetch else stream.next_instruction()
+            # Instruction-cache access, one probe per new fetch block.
+            block = instr.pc >> 6
+            if block != thread.last_fetch_block:
+                result = self.hierarchy.ifetch(instr.pc, cycle)
+                thread.last_fetch_block = block
+                if result.missed_l1:
+                    thread.fetch_blocked_until = cycle + result.latency
+                    refetch.appendleft(instr)
+                    break
+            predicted_taken = self._predict(thread, instr)
+            if self.trace is not None:
+                self.trace.note("F", cycle, instr)
+            ifq.append(instr)
+            self.ifq_total += 1
+            budget -= 1
+            if predicted_taken or instr.mispredicted:
+                break  # fetch break on (predicted-)taken control flow
+        return budget
+
+    def _predict(self, thread, instr):
+        """Run the front-end predictors for one fetched instruction.
+
+        Returns True when fetch should break after this instruction
+        (predicted-taken control flow).
+        """
+        op = instr.op
+        if op == OpClass.BRANCH:
+            prediction = self.predictors[thread.tid].predict(instr.pc)
+            instr.prediction = prediction
+            mispredicted = prediction.taken != instr.taken
+            if instr.taken and prediction.taken and \
+                    self.btbs[thread.tid].lookup(instr.pc) is None:
+                mispredicted = True  # correct direction but no target: misfetch
+            instr.mispredicted = mispredicted
+            return prediction.taken
+        if op == OpClass.CALL:
+            thread.ras.push(instr.pc + 4)
+            return True
+        if op == OpClass.RETURN:
+            instr.mispredicted = thread.ras.pop() is None
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Squash machinery (mispredict recovery and FLUSH)
+    # ------------------------------------------------------------------
+
+    def squash_after(self, tid, after_seq):
+        """Squash every instruction of thread ``tid`` younger than
+        ``after_seq``; they are queued for re-fetch in program order."""
+        thread = self.threads[tid]
+        stats = self.stats
+        refetch = thread.refetch
+        # Anything still waiting for re-fetch stays queued; IFQ contents are
+        # all younger than any dispatched instruction, so they all go back.
+        ifq = thread.ifq
+        while ifq:
+            instr = ifq.pop()
+            self.ifq_total -= 1
+            instr.reset()
+            refetch.appendleft(instr)
+            stats.squashed[tid] += 1
+        rob = thread.rob
+        inflight = thread.inflight
+        while rob and rob[-1].seq > after_seq:
+            instr = rob.pop()
+            inflight.pop(instr.seq, None)
+            if self.trace is not None:
+                self.trace.note("x", self.cycle, instr)
+            if not instr.issued:
+                if instr.op in OpClass.FP_OPS:
+                    thread.iq_fp -= 1
+                    self.iq_fp_total -= 1
+                else:
+                    thread.iq_int -= 1
+                    self.iq_int_total -= 1
+            elif not instr.done and instr.op == OpClass.LOAD:
+                level = instr.mem_level
+                if level is not None and level != "L1":
+                    thread.outstanding_l1 -= 1
+                    if level == "MEM":
+                        thread.outstanding_l2 -= 1
+            self._release_back_end(thread, instr)
+            instr.reset()
+            refetch.appendleft(instr)
+            stats.squashed[tid] += 1
+        self.policy.on_squash(self, tid, after_seq)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+
+    def occupancy(self, tid):
+        """Per-thread occupancy counters (the Figure 3 hardware monitors)."""
+        thread = self.threads[tid]
+        return {
+            "ifq": len(thread.ifq),
+            "iq_int": thread.iq_int,
+            "iq_fp": thread.iq_fp,
+            "ren_int": thread.ren_int,
+            "ren_fp": thread.ren_fp,
+            "lsq": thread.lsq,
+            "rob": len(thread.rob),
+        }
+
+    def check_invariants(self):
+        """Verify occupancy-counter consistency (used by tests)."""
+        totals = {"iq_int": 0, "iq_fp": 0, "ren_int": 0, "ren_fp": 0,
+                  "lsq": 0, "rob": 0, "ifq": 0}
+        for thread in self.threads:
+            totals["iq_int"] += thread.iq_int
+            totals["iq_fp"] += thread.iq_fp
+            totals["ren_int"] += thread.ren_int
+            totals["ren_fp"] += thread.ren_fp
+            totals["lsq"] += thread.lsq
+            totals["rob"] += len(thread.rob)
+            totals["ifq"] += len(thread.ifq)
+            for counter in ("iq_int", "iq_fp", "ren_int", "ren_fp", "lsq"):
+                if getattr(thread, counter) < 0:
+                    raise AssertionError(
+                        "negative %s on thread %d" % (counter, thread.tid)
+                    )
+        config = self.config
+        checks = [
+            (totals["iq_int"], self.iq_int_total, config.iq_int_size, "iq_int"),
+            (totals["iq_fp"], self.iq_fp_total, config.iq_fp_size, "iq_fp"),
+            (totals["ren_int"], self.ren_int_total, config.rename_int, "ren_int"),
+            (totals["ren_fp"], self.ren_fp_total, config.rename_fp, "ren_fp"),
+            (totals["lsq"], self.lsq_total, config.lsq_size, "lsq"),
+            (totals["rob"], self.rob_total, config.rob_size, "rob"),
+            (totals["ifq"], self.ifq_total, config.ifq_size, "ifq"),
+        ]
+        for summed, total, capacity, name in checks:
+            if summed != total:
+                raise AssertionError(
+                    "%s per-thread sum %d != global total %d" % (name, summed, total)
+                )
+            if total > capacity:
+                raise AssertionError(
+                    "%s total %d exceeds capacity %d" % (name, total, capacity)
+                )
+        return True

@@ -1,0 +1,128 @@
+"""Per-thread resource partition registers.
+
+Following Section 3.1.2 of the paper, learning partitions a *single* unit
+resource — the integer rename registers — and the integer issue queue and
+ROB partitions are derived in proportion.  :class:`PartitionRegisters`
+holds the per-thread limits for the three partitioned structures and
+performs the proportional derivation; ``None`` limits mean the structure is
+unpartitioned (baseline policies like ICOUNT/FLUSH run this way).
+"""
+
+import enum
+
+
+class ResourceKind(enum.Enum):
+    """The three explicitly partitioned shared structures (Figure 3)."""
+
+    INT_RENAME = "int_rename"
+    INT_IQ = "int_iq"
+    ROB = "rob"
+
+
+class PartitionRegisters:
+    """Partition limits for each thread in each partitioned structure.
+
+    The canonical setting is a vector of integer-rename-register *shares*
+    (one per thread, summing to the rename pool size); IQ and ROB limits
+    are scaled proportionally.  This mirrors the paper's observation that
+    per-thread usage of the three structures is correlated, so one knob
+    suffices.
+    """
+
+    def __init__(self, config, num_threads):
+        self.config = config
+        self.num_threads = num_threads
+        self.shares = None  # the int-rename shares, or None if unpartitioned
+        self.limit_int_rename = [config.rename_int] * num_threads
+        self.limit_int_iq = [config.iq_int_size] * num_threads
+        self.limit_rob = [config.rob_size] * num_threads
+
+    @property
+    def partitioned(self):
+        return self.shares is not None
+
+    def clear(self):
+        """Remove partitioning: every thread may use every entry."""
+        config = self.config
+        self.shares = None
+        self.limit_int_rename = [config.rename_int] * self.num_threads
+        self.limit_int_iq = [config.iq_int_size] * self.num_threads
+        self.limit_rob = [config.rob_size] * self.num_threads
+
+    def set_shares(self, shares):
+        """Program the partition registers from integer-rename shares.
+
+        ``shares`` must have one entry per thread and sum to the rename
+        pool size; each entry must respect the configured minimum.
+        """
+        config = self.config
+        shares = [int(share) for share in shares]
+        if len(shares) != self.num_threads:
+            raise ValueError(
+                "expected %d shares, got %d" % (self.num_threads, len(shares))
+            )
+        if sum(shares) != config.rename_int:
+            raise ValueError(
+                "shares must sum to %d, got %d (%r)"
+                % (config.rename_int, sum(shares), shares)
+            )
+        for share in shares:
+            if share < config.min_partition:
+                raise ValueError(
+                    "share %d below minimum partition %d" % (share, config.min_partition)
+                )
+        self.shares = list(shares)
+        self.limit_int_rename = list(shares)
+        self.limit_int_iq = self._proportional(shares, config.iq_int_size)
+        self.limit_rob = self._proportional(shares, config.rob_size)
+
+    def set_limits_directly(self, int_rename=None, int_iq=None, rob=None):
+        """Set raw per-thread caps (used by DCRA, which computes its own
+        per-structure limits rather than deriving them from one knob)."""
+        if int_rename is not None:
+            self.limit_int_rename = list(int_rename)
+        if int_iq is not None:
+            self.limit_int_iq = list(int_iq)
+        if rob is not None:
+            self.limit_rob = list(rob)
+        self.shares = None
+
+    def _proportional(self, shares, capacity):
+        """Scale rename shares onto a structure of ``capacity`` entries,
+        rounding while conserving the total."""
+        total = self.config.rename_int
+        limits = [max(1, (share * capacity) // total) for share in shares]
+        # Distribute rounding slack to the largest shares, preserving order.
+        slack = capacity - sum(limits)
+        order = sorted(range(len(shares)), key=lambda i: shares[i], reverse=True)
+        index = 0
+        while slack > 0:
+            limits[order[index % len(order)]] += 1
+            slack -= 1
+            index += 1
+        return limits
+
+    def snapshot(self):
+        return (
+            None if self.shares is None else list(self.shares),
+            list(self.limit_int_rename),
+            list(self.limit_int_iq),
+            list(self.limit_rob),
+        )
+
+    def restore(self, state):
+        shares, int_rename, int_iq, rob = state
+        self.shares = None if shares is None else list(shares)
+        self.limit_int_rename = list(int_rename)
+        self.limit_int_iq = list(int_iq)
+        self.limit_rob = list(rob)
+
+
+def equal_shares(config, num_threads):
+    """An equal split of the integer rename registers (the hill climber's
+    initial anchor), conserving the exact total."""
+    base = config.rename_int // num_threads
+    shares = [base] * num_threads
+    for index in range(config.rename_int - base * num_threads):
+        shares[index] += 1
+    return shares

@@ -1,0 +1,76 @@
+"""Execution statistics for one :class:`~repro.pipeline.processor.SMTProcessor`.
+
+The controller reads per-thread committed-instruction counts at epoch
+boundaries ("committed instruction counters" in Figure 3) to compute the
+performance-feedback metric; the remaining counters feed the analysis and
+report modules.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SMTStats:
+    """Whole-run counters, one instance per processor."""
+
+    num_threads: int
+    #: Committed instructions per thread.
+    committed: list = field(default_factory=list)
+    #: Instructions squashed per thread (mispredict recovery + flushes).
+    squashed: list = field(default_factory=list)
+    #: Branch mispredicts observed at resolve, per thread.
+    mispredicts: list = field(default_factory=list)
+    #: Conditional branches resolved, per thread.
+    branches: list = field(default_factory=list)
+    #: Loads that missed in the L2 (went to memory), per thread.
+    l2_misses: list = field(default_factory=list)
+    #: Loads issued, per thread.
+    loads: list = field(default_factory=list)
+    #: FLUSH-policy flush events, per thread.
+    flushes: list = field(default_factory=list)
+    #: Cycles a thread spent fetch-locked by a policy.
+    lock_cycles: list = field(default_factory=list)
+    #: Cycles a thread could not fetch because a partition was exhausted.
+    partition_stall_cycles: list = field(default_factory=list)
+    #: Total cycles charged to the run (includes learning-overhead stalls).
+    cycles: int = 0
+
+    def __post_init__(self):
+        for name in ("committed", "squashed", "mispredicts", "branches",
+                     "l2_misses", "loads", "flushes", "lock_cycles",
+                     "partition_stall_cycles"):
+            if not getattr(self, name):
+                setattr(self, name, [0] * self.num_threads)
+
+    def total_committed(self):
+        return sum(self.committed)
+
+    def ipc(self, thread=None):
+        """Committed IPC for one thread, or aggregate IPC if ``thread`` is
+        None."""
+        if self.cycles == 0:
+            return 0.0
+        if thread is None:
+            return self.total_committed() / self.cycles
+        return self.committed[thread] / self.cycles
+
+    def copy(self):
+        clone = SMTStats(self.num_threads)
+        clone.committed = list(self.committed)
+        clone.squashed = list(self.squashed)
+        clone.mispredicts = list(self.mispredicts)
+        clone.branches = list(self.branches)
+        clone.l2_misses = list(self.l2_misses)
+        clone.loads = list(self.loads)
+        clone.flushes = list(self.flushes)
+        clone.lock_cycles = list(self.lock_cycles)
+        clone.partition_stall_cycles = list(self.partition_stall_cycles)
+        clone.cycles = self.cycles
+        return clone
+
+    def delta_since(self, earlier):
+        """Per-thread committed deltas and cycle delta since a copy taken
+        earlier (the controller's epoch accounting)."""
+        committed = [now - before for now, before
+                     in zip(self.committed, earlier.committed)]
+        return committed, self.cycles - earlier.cycles

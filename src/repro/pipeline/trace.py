@@ -1,0 +1,131 @@
+"""Per-instruction pipeline tracing.
+
+Attach a :class:`PipelineTracer` to a processor (``proc.trace = tracer``)
+and every instruction's stage timestamps are recorded: fetch, dispatch,
+issue, complete, commit, plus squash events.  The textual renderer draws
+the classic pipeline diagram (one instruction per row, one column per
+cycle), which makes resource-clog and partition behaviour directly
+visible.
+
+Tracing is intended for debugging and teaching, not measurement runs —
+it allocates one record per fetched instruction.
+"""
+
+from collections import OrderedDict, deque
+
+FETCH = "F"
+DISPATCH = "D"
+ISSUE = "I"
+COMPLETE = "C"
+COMMIT = "R"  # retire
+SQUASH = "x"
+
+_STAGE_ORDER = (FETCH, DISPATCH, ISSUE, COMPLETE, COMMIT)
+
+
+class TraceRecord:
+    """Stage timestamps for one dynamic instruction incarnation."""
+
+    __slots__ = ("thread", "seq", "op", "stamps", "squashed_at")
+
+    def __init__(self, thread, seq, op):
+        self.thread = thread
+        self.seq = seq
+        self.op = op
+        self.stamps = {}
+        self.squashed_at = None
+
+    def note(self, stage, cycle):
+        self.stamps[stage] = cycle
+
+    @property
+    def complete_lifetime(self):
+        """(fetch cycle, commit cycle) when both known, else None."""
+        if FETCH in self.stamps and COMMIT in self.stamps:
+            return self.stamps[FETCH], self.stamps[COMMIT]
+        return None
+
+
+class PipelineTracer:
+    """Bounded trace of recent instructions (per incarnation).
+
+    Parameters
+    ----------
+    capacity:
+        Maximum records retained (oldest evicted first).
+    threads:
+        Optional set of thread ids to trace (None: all).
+    """
+
+    def __init__(self, capacity=2048, threads=None):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.threads = None if threads is None else set(threads)
+        self._records = OrderedDict()  # (thread, seq, gen) -> TraceRecord
+        self.squash_events = deque(maxlen=capacity)
+
+    def _wants(self, instr):
+        return self.threads is None or instr.thread in self.threads
+
+    def _record_for(self, instr):
+        key = (instr.thread, instr.seq, instr.gen)
+        record = self._records.get(key)
+        if record is None:
+            record = TraceRecord(instr.thread, instr.seq, instr.op)
+            self._records[key] = record
+            while len(self._records) > self.capacity:
+                self._records.popitem(last=False)
+        return record
+
+    def note(self, stage, cycle, instr):
+        """Record one pipeline event (called by the processor)."""
+        if not self._wants(instr):
+            return
+        if stage == SQUASH:
+            record = self._record_for(instr)
+            record.squashed_at = cycle
+            self.squash_events.append((cycle, instr.thread, instr.seq))
+            return
+        self._record_for(instr).note(stage, cycle)
+
+    def records(self, thread=None):
+        """All retained records, optionally for one thread, oldest first."""
+        return [
+            record for record in self._records.values()
+            if thread is None or record.thread == thread
+        ]
+
+    def render(self, max_rows=32, width=72):
+        """Draw a pipeline diagram of the most recent instructions."""
+        records = list(self._records.values())[-max_rows:]
+        if not records:
+            return "(empty trace)"
+        start = min(min(record.stamps.values(), default=0)
+                    for record in records)
+        lines = []
+        for record in records:
+            cells = {}
+            for stage in _STAGE_ORDER:
+                if stage in record.stamps:
+                    cells[record.stamps[stage] - start] = stage
+            if record.squashed_at is not None:
+                cells[record.squashed_at - start] = SQUASH
+            if not cells:
+                continue
+            span = min(width, max(cells) + 1)
+            row = "".join(cells.get(column, ".") for column in range(span))
+            lines.append("t%d #%-6d %-4s |%s" % (
+                record.thread, record.seq, record.op, row))
+        return "\n".join(lines)
+
+    def average_latency(self, thread=None):
+        """Mean fetch-to-commit latency over complete records."""
+        lifetimes = [
+            record.complete_lifetime
+            for record in self.records(thread)
+            if record.complete_lifetime is not None
+        ]
+        if not lifetimes:
+            return 0.0
+        return sum(end - begin for begin, end in lifetimes) / len(lifetimes)

@@ -1,0 +1,51 @@
+"""Baseline SMT resource-distribution policies the paper compares against.
+
+* :class:`~repro.policies.icount.ICountPolicy` — ICOUNT fetch priority,
+  no partitioning (Tullsen et al., ISCA '96).
+* :class:`~repro.policies.flush.FlushPolicy` — flush + fetch-lock on
+  L2-missing loads (Tullsen & Brown, MICRO '01).
+* :class:`~repro.policies.stall.StallPolicy` — fetch-lock without flushing.
+* :class:`~repro.policies.dcra.DCRAPolicy` — dynamically controlled
+  resource allocation (Cazorla et al., MICRO '04), approximated per
+  DESIGN.md.
+* :class:`~repro.policies.static_partition.StaticPartitionPolicy` — fixed
+  equal (or user-provided) partitions.
+
+All learning-based policies live in :mod:`repro.core`.
+"""
+
+from repro.policies.base import ResourcePolicy
+from repro.policies.icount import ICountPolicy
+from repro.policies.flush import FlushPolicy
+from repro.policies.stall import StallPolicy
+from repro.policies.stall_flush import StallFlushPolicy
+from repro.policies.dcra import DCRAPolicy
+from repro.policies.dg import DGPolicy, PDGPolicy
+from repro.policies.fpg import FPGPolicy
+from repro.policies.static_partition import StaticPartitionPolicy
+
+BASELINE_POLICIES = {
+    "ICOUNT": ICountPolicy,
+    "FPG": FPGPolicy,
+    "STALL": StallPolicy,
+    "FLUSH": FlushPolicy,
+    "STALL-FLUSH": StallFlushPolicy,
+    "DG": DGPolicy,
+    "PDG": PDGPolicy,
+    "DCRA": DCRAPolicy,
+    "STATIC": StaticPartitionPolicy,
+}
+
+__all__ = [
+    "ResourcePolicy",
+    "ICountPolicy",
+    "FPGPolicy",
+    "FlushPolicy",
+    "StallPolicy",
+    "StallFlushPolicy",
+    "DGPolicy",
+    "PDGPolicy",
+    "DCRAPolicy",
+    "StaticPartitionPolicy",
+    "BASELINE_POLICIES",
+]

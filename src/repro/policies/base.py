@@ -1,0 +1,58 @@
+"""Resource-distribution policy interface.
+
+A policy plugs into the processor at four points:
+
+* ``fetch_priority`` — orders the fetch-eligible threads each cycle (all
+  policies in the paper, including the learning ones, use ICOUNT here).
+* ``on_cycle`` — per-cycle bookkeeping (DCRA recomputes caps here).
+* ``on_l2_miss_detected`` / ``on_load_complete`` / ``on_squash`` — the
+  long-latency-load event stream used by FLUSH and STALL.
+* ``on_epoch_end`` — invoked by the epoch controller with the epoch's
+  performance feedback; learning policies reprogram the partition
+  registers here.
+"""
+
+
+class ResourcePolicy:
+    """Base policy: ICOUNT fetch order, no partitioning, no reactions."""
+
+    name = "BASE"
+    #: Set True to receive :meth:`on_l2_miss_detected` events (the processor
+    #: skips scheduling detection events otherwise).
+    wants_miss_detection = False
+
+    def attach(self, proc):
+        """Called once when the processor adopts this policy."""
+        proc.partitions.clear()
+
+    def fetch_priority(self, proc, eligible):
+        """Order the fetch-eligible thread ids, highest priority first.
+
+        The default is ICOUNT: fewest front-end instructions first.
+        """
+        threads = proc.threads
+        return sorted(eligible, key=lambda tid: threads[tid].icount)
+
+    def on_cycle(self, proc):
+        """Per-cycle hook (after fetch)."""
+
+    def on_l2_miss_detected(self, proc, instr):
+        """A load of ``instr.thread`` was just found to miss in the L2."""
+
+    def on_load_complete(self, proc, instr):
+        """A load finished (any level)."""
+
+    def on_squash(self, proc, tid, after_seq):
+        """Instructions of ``tid`` younger than ``after_seq`` were squashed."""
+
+    def on_epoch_end(self, proc, epoch):
+        """Epoch boundary: ``epoch`` is an
+        :class:`~repro.core.controller.EpochResult`."""
+
+    def plan_epoch(self, proc, epoch_id):
+        """Called before each epoch; return ``None`` for a normal epoch or a
+        thread id to request a solo (SingleIPC-sampling) epoch."""
+        return None
+
+    def __repr__(self):
+        return "<%s %s>" % (type(self).__name__, self.name)

@@ -1,0 +1,82 @@
+"""DG and PDG fetch-gating policies (El-Moursy & Albonesi, HPCA '03).
+
+Both fetch-lock a thread around long-latency data-cache misses:
+
+* **DG** (Data Gating) locks when the number of in-flight L1 data-cache
+  misses exceeds a threshold — detection is late (the misses already
+  happened) but certain.
+* **PDG** (Predictive Data Gating) consults a miss predictor at fetch and
+  gates ahead of time — earlier but unreliable, exactly the trade-off the
+  paper's Section 2 describes.
+
+Our PDG predictor is a small table of 2-bit saturating counters indexed by
+load PC, trained at load completion.
+"""
+
+from repro.policies.base import ResourcePolicy
+
+
+class DGPolicy(ResourcePolicy):
+    """Fetch-lock while in-flight L1 data misses exceed ``threshold``."""
+
+    name = "DG"
+
+    def __init__(self, threshold=2):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+
+    def attach(self, proc):
+        proc.partitions.clear()
+
+    def on_cycle(self, proc):
+        threshold = self.threshold
+        for thread in proc.threads:
+            thread.policy_locked = thread.outstanding_l1 >= threshold
+
+
+class PDGPolicy(ResourcePolicy):
+    """Gate fetch when a miss predictor expects the thread's recent loads
+    to miss; train the predictor at load completion."""
+
+    name = "PDG"
+    wants_miss_detection = False
+
+    def __init__(self, table_size=1024, gate_cycles=12):
+        if table_size < 1:
+            raise ValueError("table_size must be >= 1")
+        self.table_size = table_size
+        self.gate_cycles = gate_cycles
+        self._tables = []
+        self._gate_until = []
+
+    def attach(self, proc):
+        proc.partitions.clear()
+        self._tables = [
+            [1] * self.table_size for __ in range(proc.num_threads)
+        ]
+        self._gate_until = [0] * proc.num_threads
+
+    def _index(self, pc):
+        return (pc >> 2) % self.table_size
+
+    def on_load_complete(self, proc, instr):
+        table = self._tables[instr.thread]
+        index = self._index(instr.pc)
+        counter = table[index]
+        if instr.mem_level is not None and instr.mem_level != "L1":
+            if counter < 3:
+                table[index] = counter + 1
+            # A predicted-missing load gates the thread's fetch briefly.
+            if counter >= 2:
+                self._gate_until[instr.thread] = max(
+                    self._gate_until[instr.thread],
+                    proc.cycle + self.gate_cycles,
+                )
+        elif counter > 0:
+            table[index] = counter - 1
+
+    def on_cycle(self, proc):
+        cycle = proc.cycle
+        for thread in proc.threads:
+            thread.policy_locked = cycle < self._gate_until[thread.tid]

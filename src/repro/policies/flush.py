@@ -1,0 +1,49 @@
+"""FLUSH policy (Tullsen & Brown, MICRO '01).
+
+When a load is detected to miss in the L2, every younger instruction of
+that thread is flushed from the pipeline (releasing the shared resources it
+clogged) and the thread is fetch-locked until the load's data returns.
+Recovery is immediate and complete, but flushed work must be re-fetched —
+the fetch-bandwidth/power waste the paper notes.
+"""
+
+from repro.policies.base import ResourcePolicy
+
+
+class FlushPolicy(ResourcePolicy):
+    """Flush-on-L2-miss with fetch-lock until the miss returns."""
+
+    name = "FLUSH"
+    wants_miss_detection = True
+
+    def __init__(self):
+        # tid -> (seq, gen) of the load the thread is locked on.
+        self._waiting = {}
+
+    def attach(self, proc):
+        proc.partitions.clear()
+        self._waiting = {}
+
+    def on_l2_miss_detected(self, proc, instr):
+        tid = instr.thread
+        if tid in self._waiting:
+            return  # already flushed behind an older miss
+        proc.squash_after(tid, instr.seq)
+        proc.threads[tid].policy_locked = True
+        self._waiting[tid] = (instr.seq, instr.gen)
+        proc.stats.flushes[tid] += 1
+
+    def on_load_complete(self, proc, instr):
+        tid = instr.thread
+        waiting = self._waiting.get(tid)
+        if waiting == (instr.seq, instr.gen):
+            del self._waiting[tid]
+            proc.threads[tid].policy_locked = False
+
+    def on_squash(self, proc, tid, after_seq):
+        # If the load we were waiting on was itself squashed (by an older
+        # mispredicted branch), release the lock so the thread can re-fetch.
+        waiting = self._waiting.get(tid)
+        if waiting is not None and waiting[0] > after_seq:
+            del self._waiting[tid]
+            proc.threads[tid].policy_locked = False

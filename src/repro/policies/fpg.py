@@ -1,0 +1,56 @@
+"""FPG fetch policy (Luo et al., IPDPS '01).
+
+Fetch Priority based on Goodness: threads whose branches are being
+predicted well receive fetch priority, since their fetched instructions are
+least likely to be squashed.  Like ICOUNT it is a pure fetch policy — no
+partitioning — so it cannot prevent resource clog; the paper cites it as a
+second example of indicator-driven fetch policies.
+
+We track a per-thread exponential moving average of branch-prediction
+accuracy from resolved branches and order fetch-eligible threads by it
+(ties broken by ICOUNT).
+"""
+
+from repro.policies.base import ResourcePolicy
+
+
+class FPGPolicy(ResourcePolicy):
+    """Fetch priority by recent branch-prediction goodness."""
+
+    name = "FPG"
+
+    def __init__(self, smoothing=0.02):
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        self.smoothing = smoothing
+        self.goodness = []
+
+    def attach(self, proc):
+        proc.partitions.clear()
+        self.goodness = [1.0] * proc.num_threads
+        # Observe resolutions via the completion path: the processor calls
+        # on_load_complete for loads only, so FPG hooks the per-cycle path
+        # and inspects resolved-branch statistics deltas.
+        self._last_branches = [0] * proc.num_threads
+        self._last_mispredicts = [0] * proc.num_threads
+
+    def on_cycle(self, proc):
+        stats = proc.stats
+        smoothing = self.smoothing
+        for tid in range(proc.num_threads):
+            resolved = stats.branches[tid] - self._last_branches[tid]
+            if not resolved:
+                continue
+            missed = stats.mispredicts[tid] - self._last_mispredicts[tid]
+            accuracy = 1.0 - missed / resolved
+            self.goodness[tid] += smoothing * resolved * (
+                accuracy - self.goodness[tid])
+            self._last_branches[tid] = stats.branches[tid]
+            self._last_mispredicts[tid] = stats.mispredicts[tid]
+
+    def fetch_priority(self, proc, eligible):
+        threads = proc.threads
+        return sorted(
+            eligible,
+            key=lambda tid: (-self.goodness[tid], threads[tid].icount),
+        )

@@ -1,0 +1,15 @@
+"""ICOUNT fetch policy (Tullsen et al., "Exploiting Choice", ISCA '96).
+
+Every cycle the threads with the fewest instructions in the front end
+(IFQ + issue queues) get fetch priority; no explicit partitioning is done,
+so a stalled thread can clog the shared structures — the failure mode the
+paper's Section 2 describes.
+"""
+
+from repro.policies.base import ResourcePolicy
+
+
+class ICountPolicy(ResourcePolicy):
+    """Plain ICOUNT: the base policy's fetch order with no partitioning."""
+
+    name = "ICOUNT"

@@ -1,0 +1,45 @@
+"""STALL policy (Tullsen & Brown, MICRO '01).
+
+Like FLUSH, triggers on L2-missing loads, but only fetch-locks the thread —
+instructions already in the pipeline stay put.  Cheaper than flushing but
+cannot undo resource clog that happened before the trigger, which is why
+the paper reports it is less effective in MEM workloads.
+"""
+
+from repro.policies.base import ResourcePolicy
+
+
+class StallPolicy(ResourcePolicy):
+    """Fetch-lock on L2 miss; unlock when the last trigger load returns."""
+
+    name = "STALL"
+    wants_miss_detection = True
+
+    def __init__(self):
+        # tid -> {(seq, gen)} of outstanding trigger loads.
+        self._pending = {}
+
+    def attach(self, proc):
+        proc.partitions.clear()
+        self._pending = {tid: set() for tid in range(proc.num_threads)}
+
+    def on_l2_miss_detected(self, proc, instr):
+        tid = instr.thread
+        self._pending[tid].add((instr.seq, instr.gen))
+        proc.threads[tid].policy_locked = True
+
+    def on_load_complete(self, proc, instr):
+        tid = instr.thread
+        pending = self._pending[tid]
+        pending.discard((instr.seq, instr.gen))
+        if not pending:
+            proc.threads[tid].policy_locked = False
+
+    def on_squash(self, proc, tid, after_seq):
+        pending = self._pending[tid]
+        if pending:
+            self._pending[tid] = {
+                entry for entry in pending if entry[0] <= after_seq
+            }
+            if not self._pending[tid]:
+                proc.threads[tid].policy_locked = False

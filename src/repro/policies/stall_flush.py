@@ -1,0 +1,79 @@
+"""STALL-FLUSH hybrid (Tullsen & Brown, MICRO '01).
+
+First line of defence is cheap: fetch-lock the thread when an L2 miss is
+detected (STALL).  Flushing — wasteful in fetch bandwidth and power — is
+the fallback, triggered only when the shared resources actually run out
+while a locked thread holds them.  The paper's Section 2 cites this as the
+way to "minimize the number of flushed instructions".
+"""
+
+from repro.policies.flush import FlushPolicy
+from repro.policies.base import ResourcePolicy
+
+
+class StallFlushPolicy(ResourcePolicy):
+    """STALL by default, FLUSH when the machine is about to exhaust a
+    shared structure while a thread is locked on a miss."""
+
+    name = "STALL-FLUSH"
+    wants_miss_detection = True
+
+    def __init__(self, pressure=0.95):
+        if not 0.0 < pressure <= 1.0:
+            raise ValueError("pressure must be in (0, 1]")
+        self.pressure = pressure
+        self._waiting = {}  # tid -> (seq, gen) of the lock-triggering load
+        self._flushed = set()  # lock episodes already flushed once
+
+    def attach(self, proc):
+        proc.partitions.clear()
+        self._waiting = {}
+        self._flushed = set()
+
+    def on_l2_miss_detected(self, proc, instr):
+        tid = instr.thread
+        if tid not in self._waiting:
+            self._waiting[tid] = (instr.seq, instr.gen)
+            proc.threads[tid].policy_locked = True
+
+    def on_load_complete(self, proc, instr):
+        tid = instr.thread
+        if self._waiting.get(tid) == (instr.seq, instr.gen):
+            self._flushed.discard((tid, instr.seq, instr.gen))
+            del self._waiting[tid]
+            proc.threads[tid].policy_locked = False
+
+    def on_squash(self, proc, tid, after_seq):
+        waiting = self._waiting.get(tid)
+        if waiting is not None and waiting[0] > after_seq:
+            self._flushed.discard((tid,) + waiting)
+            del self._waiting[tid]
+            proc.threads[tid].policy_locked = False
+
+    def on_cycle(self, proc):
+        if not self._waiting:
+            return
+        config = proc.config
+        exhausted = (
+            proc.rob_total >= self.pressure * config.rob_size
+            or proc.iq_int_total >= self.pressure * config.iq_int_size
+            or proc.ren_int_total >= self.pressure * config.rename_int
+        )
+        if not exhausted:
+            return
+        # Resources are nearly gone: flush the locked thread holding the
+        # most ROB entries, releasing its clog.  Each lock episode flushes
+        # at most once — sustained pressure must not grind the thread with
+        # repeated squashes.
+        victims = [
+            tid for tid, waiting in self._waiting.items()
+            if (tid,) + waiting not in self._flushed
+        ]
+        if not victims:
+            return
+        victim = max(victims, key=lambda tid: len(proc.threads[tid].rob))
+        seq, gen = self._waiting[victim]
+        proc.squash_after(victim, seq)
+        proc.stats.flushes[victim] += 1
+        self._flushed.add((victim, seq, gen))
+        # The lock stays until the triggering load returns.

@@ -1,0 +1,22 @@
+"""Static partitioning: a fixed division of the partitioned structures,
+set once and never adapted (the paper's Section 2 third approach, e.g.
+Raasch & Reinhardt).  The default is an equal split.
+"""
+
+from repro.pipeline.resources import equal_shares
+from repro.policies.base import ResourcePolicy
+
+
+class StaticPartitionPolicy(ResourcePolicy):
+    """Fixed partition shares over the integer rename registers."""
+
+    name = "STATIC"
+
+    def __init__(self, shares=None):
+        self.shares = None if shares is None else list(shares)
+
+    def attach(self, proc):
+        shares = self.shares
+        if shares is None:
+            shares = equal_shares(proc.config, proc.num_threads)
+        proc.partitions.set_shares(shares)

@@ -1,0 +1,44 @@
+"""Synthetic workload substrate.
+
+The paper drives its simulator with SPEC CPU2000 alpha binaries.  Those
+binaries (and an alpha ISA front end) are not reproducible here, so this
+package provides *synthetic instruction streams*: seeded generators that
+emit dependence-annotated instructions whose aggregate behaviour —
+ILP vs. memory intensity, resource appetite ("Rsc"), branch predictability,
+and phase-variation frequency ("Freq") — mirrors the per-benchmark
+characteristics the paper reports in Table 2.
+
+`spec2000` defines one profile per Table 2 benchmark; `mixes` defines the
+42 multiprogrammed workloads of Table 3 (ILP2/MIX2/MEM2 and the 4-thread
+groups).
+"""
+
+from repro.workloads.profile import BenchmarkProfile, PhaseVariation
+from repro.workloads.generator import Instruction, SyntheticStream, OpClass
+from repro.workloads.tracefile import TraceStream, record_trace
+from repro.workloads.spec2000 import PROFILES, get_profile, profile_names
+from repro.workloads.mixes import (
+    WORKLOADS,
+    Workload,
+    get_workload,
+    workload_names,
+    workloads_in_group,
+)
+
+__all__ = [
+    "BenchmarkProfile",
+    "PhaseVariation",
+    "Instruction",
+    "SyntheticStream",
+    "OpClass",
+    "TraceStream",
+    "record_trace",
+    "PROFILES",
+    "get_profile",
+    "profile_names",
+    "WORKLOADS",
+    "Workload",
+    "get_workload",
+    "workload_names",
+    "workloads_in_group",
+]

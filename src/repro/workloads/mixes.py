@@ -1,0 +1,114 @@
+"""The 42 multiprogrammed workloads of Table 3.
+
+Six groups: ILP2/MIX2/MEM2 (2 threads, 7 workloads each — the limit-study
+set) and ILP4/MIX4/MEM4 (4 threads, 7 each).  Workload names follow the
+paper's hyphenated convention (e.g. ``"art-mcf"``).
+"""
+
+from dataclasses import dataclass
+
+from repro.workloads.spec2000 import get_profile
+
+GROUPS = ("ILP2", "MIX2", "MEM2", "ILP4", "MIX4", "MEM4")
+
+_GROUP_MEMBERS = {
+    "ILP2": [
+        "apsi-eon", "fma3d-gcc", "gzip-vortex", "wupwise-gcc",
+        "gzip-bzip2", "fma3d-mesa", "apsi-gcc",
+    ],
+    "MIX2": [
+        "applu-vortex", "art-gzip", "wupwise-twolf", "lucas-crafty",
+        "mcf-eon", "twolf-apsi", "equake-bzip2",
+    ],
+    "MEM2": [
+        "applu-ammp", "art-mcf", "swim-twolf", "mcf-twolf",
+        "art-vpr", "art-twolf", "swim-mcf",
+    ],
+    "ILP4": [
+        "apsi-eon-fma3d-gcc", "apsi-eon-gzip-vortex", "fma3d-gcc-gzip-vortex",
+        "mesa-bzip2-eon-gcc", "mesa-gzip-fma3d-bzip2",
+        "crafty-fma3d-apsi-vortex", "apsi-gap-wupwise-perlbmk",
+    ],
+    "MIX4": [
+        "ammp-applu-apsi-eon", "art-mcf-fma3d-gcc", "swim-twolf-gzip-vortex",
+        "gzip-twolf-bzip2-mcf", "mcf-mesa-lucas-gzip",
+        "art-gap-twolf-crafty", "swim-mesa-vpr-gzip",
+    ],
+    "MEM4": [
+        "ammp-applu-art-mcf", "art-mcf-swim-twolf", "ammp-applu-swim-twolf",
+        "mcf-twolf-vpr-parser", "art-twolf-equake-mcf",
+        "equake-parser-mcf-lucas", "art-mcf-vpr-swim",
+    ],
+}
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One multiprogrammed workload: an ordered set of benchmark profiles."""
+
+    name: str
+    group: str
+    benchmarks: tuple  # tuple of benchmark names
+
+    @property
+    def num_threads(self):
+        return len(self.benchmarks)
+
+    @property
+    def profiles(self):
+        """The benchmark profiles, in hardware-context order."""
+        return [get_profile(name) for name in self.benchmarks]
+
+    @property
+    def rsc_sum(self):
+        """Summed per-application Rsc hints (the Table 3 "Rsc" column)."""
+        return sum(profile.rsc_hint for profile in self.profiles)
+
+    @property
+    def is_large(self):
+        """True when the summed resource appetite exceeds the machine's
+        integer rename registers (the paper's SM/LG threshold: 256 for two
+        threads, 440 for four)."""
+        threshold = 256 if self.num_threads == 2 else 440
+        return self.rsc_sum > threshold
+
+
+def _build_workloads():
+    workloads = {}
+    for group, names in _GROUP_MEMBERS.items():
+        for name in names:
+            benchmarks = tuple(name.split("-"))
+            expected = 2 if group.endswith("2") else 4
+            if len(benchmarks) != expected:
+                raise AssertionError(
+                    "workload %r in group %s has %d members" % (name, group, len(benchmarks))
+                )
+            for benchmark in benchmarks:
+                get_profile(benchmark)  # validates the name
+            workloads[name] = Workload(name=name, group=group, benchmarks=benchmarks)
+    return workloads
+
+
+WORKLOADS = _build_workloads()
+
+
+def get_workload(name):
+    """Look up one Table 3 workload by its hyphenated name."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            "unknown workload %r (known: %s)" % (name, ", ".join(sorted(WORKLOADS)))
+        ) from None
+
+
+def workload_names(group=None):
+    """Names of all workloads, optionally restricted to one group."""
+    if group is None:
+        return list(WORKLOADS)
+    return list(_GROUP_MEMBERS[group])
+
+
+def workloads_in_group(group):
+    """All :class:`Workload` records in one Table 3 group."""
+    return [WORKLOADS[name] for name in _GROUP_MEMBERS[group]]

@@ -1,0 +1,114 @@
+"""Benchmark profiles: the tunable parameters of a synthetic instruction
+stream standing in for one SPEC CPU2000 benchmark.
+
+A profile controls four behaviours that matter to the paper's study:
+
+* **ILP structure** — how far apart dependent instructions are
+  (``dep_distance``) and how often an instruction chains serially to its
+  predecessor (``serial_frac``).  Together these set how big an instruction
+  window the thread can exploit, i.e. the Table 2 "Rsc" characteristic.
+* **Memory intensity** — what fraction of data accesses fall outside the
+  L1- and L2-resident regions (``mem_frac``/``l2_frac``) and whether far
+  misses arrive in bursts (``miss_burst``) that reward deep speculation
+  past a miss (the paper's *cache-miss clustering* case).
+* **Branch behaviour** — the fraction of conditional branches and how
+  strongly biased their directions are (``branch_predictability``); poorly
+  predictable streams model the paper's *compute-intensive low-ILP* case.
+* **Phase variation** — the Table 2 "Freq" column: ``HIGH`` profiles swap
+  parameter sets every phase period, ``LOW`` every several periods,
+  ``NONE`` never.
+"""
+
+import enum
+from dataclasses import dataclass, field, replace
+
+
+class PhaseVariation(enum.Enum):
+    """Table 2 "Freq" column: how often resource requirements change."""
+
+    NONE = "No"
+    LOW = "Low"
+    HIGH = "High"
+
+
+@dataclass(frozen=True)
+class PhaseParams:
+    """The per-phase tunables a profile may alternate between."""
+
+    #: Mean distance (in instructions) from a consumer to its producer.
+    #: Larger values mean more independent work in flight — higher ILP and
+    #: a bigger resource appetite.
+    dep_distance: float = 8.0
+    #: Probability an instruction chains directly to its predecessor,
+    #: forming a serial dependence chain (low ILP regardless of window).
+    serial_frac: float = 0.10
+    #: Fraction of data accesses falling outside the L2-resident region.
+    mem_frac: float = 0.0
+    #: Fraction of data accesses falling in the L2-resident (L1-missing)
+    #: region.
+    l2_frac: float = 0.05
+    #: When a far (memory) access occurs, expected number of further far
+    #: accesses in the same burst.  Bursts of independent far loads create
+    #: memory-level parallelism that only a large partition can exploit.
+    miss_burst: float = 0.0
+    #: Mean instruction gap between far loads inside one burst.
+    burst_gap: float = 6.0
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Complete description of one synthetic benchmark."""
+
+    name: str
+    #: Paper category: "ILP" (compute-bound) or "MEM" (memory-intensive).
+    ctype: str
+    #: Whether the benchmark is predominantly floating point (Table 2 "Type").
+    is_fp: bool
+    #: Table 2 "Rsc": integer rename registers for 95% of stand-alone IPC.
+    #: Used only as documentation / a target; our own value is re-derived by
+    #: the Table 2 bench.
+    rsc_hint: int
+    #: Table 2 "Freq": phase-variation frequency.
+    freq: PhaseVariation
+    #: Primary phase parameters.
+    phase_a: PhaseParams
+    #: Alternate phase parameters (used when ``freq`` is LOW or HIGH).
+    phase_b: PhaseParams = None
+    #: Instruction mix.
+    load_frac: float = 0.25
+    store_frac: float = 0.10
+    branch_frac: float = 0.12
+    fp_frac: float = 0.0
+    mul_frac: float = 0.04
+    #: Fraction of branch sites that are strongly biased (easy to predict).
+    branch_predictability: float = 0.975
+    #: Number of static conditional-branch sites.
+    branch_sites: int = 64
+    #: Fraction of instructions that are call/return pairs (exercises RAS).
+    call_frac: float = 0.01
+    #: Code footprint in bytes (drives IL1 behaviour).
+    code_footprint: int = 4 * 1024
+    #: Data region sizes in bytes.
+    l1_region: int = 4 * 1024
+    l2_region: int = 48 * 1024
+    mem_region: int = 64 * 1024 * 1024
+    #: Phase period in *generated instructions* (roughly one 64K-cycle epoch
+    #: at IPC 1 in the paper's scale; scaled configs shrink epochs, and the
+    #: generator scales this with them via the stream's ``phase_period``).
+    phase_period: int = 20000
+    #: LOW-frequency profiles switch every ``low_freq_multiple`` periods.
+    low_freq_multiple: int = 8
+
+    def __post_init__(self):
+        if self.ctype not in ("ILP", "MEM"):
+            raise ValueError("ctype must be 'ILP' or 'MEM', got %r" % (self.ctype,))
+        if self.phase_b is None:
+            object.__setattr__(self, "phase_b", self.phase_a)
+
+    @property
+    def has_phases(self):
+        return self.freq is not PhaseVariation.NONE
+
+    def with_overrides(self, **kwargs):
+        """Return a copy with selected fields replaced (for ablations)."""
+        return replace(self, **kwargs)

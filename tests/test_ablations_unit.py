@@ -1,0 +1,49 @@
+"""Unit-level tests for the ablation drivers (cheap smoke coverage is in
+test_figures_smoke; these verify the sweep semantics)."""
+
+import pytest
+
+from repro.experiments import ablations
+from repro.experiments.runner import ExperimentScale
+from repro.workloads.mixes import get_workload
+
+
+@pytest.fixture(scope="module")
+def scale():
+    return ExperimentScale.smoke().with_overrides(epochs=4)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return get_workload("art-mcf")
+
+
+class TestSweepSemantics:
+    def test_epoch_size_sweep_holds_budget_constant(self, scale, workload):
+        rows = ablations.epoch_size_sweep(workload, scale,
+                                          epoch_sizes=(256, 512))
+        assert [size for size, __ in rows] == [256, 512]
+        assert all(value >= 0 for __, value in rows)
+
+    def test_delta_sweep_distinct_runs(self, scale, workload):
+        rows = ablations.delta_sweep(workload, scale, deltas=(2, 8))
+        values = [value for __, value in rows]
+        assert len(values) == 2
+
+    def test_sample_period_none_supported(self, scale, workload):
+        rows = ablations.sample_period_sweep(workload, scale,
+                                             periods=(None,))
+        assert rows[0][0] is None
+        assert rows[0][1] > 0
+
+    def test_software_cost_monotone_tendency(self, scale, workload):
+        """An absurdly large stall must cost measurable throughput."""
+        rows = dict(ablations.software_cost_sweep(
+            workload, scale, costs=(0, 400)))
+        # 400 cycles of stall per 1024-cycle epoch = ~40% of runtime.
+        assert rows[400] < rows[0]
+
+    def test_offline_stride_sweep_returns_all(self, scale, workload):
+        rows = ablations.offline_stride_sweep(workload, scale,
+                                              strides=(16, 8))
+        assert [stride for stride, __ in rows] == [16, 8]

@@ -1,0 +1,91 @@
+"""Tests for the TS/SS/TL/SL/JL behaviour classifier (Figure 12)."""
+
+import pytest
+
+from repro.analysis.behavior import BehaviorClass, classify_behavior
+from repro.core.controller import EpochResult
+from repro.core.offline import OfflineEpoch
+
+TOTAL = 128
+
+
+def make_epoch(epoch_id, curve_values, best_index):
+    """Build a synthetic OfflineEpoch from a value list over the grid."""
+    positions = [4 + 8 * index for index in range(len(curve_values))]
+    assert positions[-1] < TOTAL
+    curve = [
+        ((position, TOTAL - position), value, [value / 2, value / 2])
+        for position, value in zip(positions, curve_values)
+    ]
+    best_pos = positions[best_index]
+    result = EpochResult(epoch_id=epoch_id, kind="normal",
+                         committed=[10, 10], cycles=100)
+    return OfflineEpoch(
+        epoch_id=epoch_id, curve=curve,
+        best_shares=(best_pos, TOTAL - best_pos),
+        best_value=curve_values[best_index], result=result,
+    )
+
+
+def sharp_values(peak_index, count=15):
+    return [1.0 - 0.08 * abs(index - peak_index) for index in range(count)]
+
+
+def flat_values(peak_index, count=15):
+    return [1.0 - 0.005 * abs(index - peak_index) for index in range(count)]
+
+
+def bimodal_values(count=15):
+    values = [0.3] * count
+    values[3] = 1.0
+    values[4] = 0.6
+    values[11] = 0.95
+    return values
+
+
+class TestClassification:
+    def test_temporally_stable(self):
+        epochs = [make_epoch(i, sharp_values(7), 7) for i in range(10)]
+        assert classify_behavior(epochs, TOTAL) == \
+            BehaviorClass.TEMPORALLY_STABLE
+
+    def test_spatially_stable(self):
+        """Best moves every epoch, but hills are wide/flat."""
+        epochs = [
+            make_epoch(i, flat_values(2 + 10 * (i % 2)), 2 + 10 * (i % 2))
+            for i in range(10)
+        ]
+        assert classify_behavior(epochs, TOTAL) == \
+            BehaviorClass.SPATIALLY_STABLE
+
+    def test_jitter_limited(self):
+        """Best jumps rapidly across sharp hills."""
+        epochs = [
+            make_epoch(i, sharp_values(2 + 10 * (i % 2)), 2 + 10 * (i % 2))
+            for i in range(10)
+        ]
+        assert classify_behavior(epochs, TOTAL) == \
+            BehaviorClass.JITTER_LIMITED
+
+    def test_temporally_limited(self):
+        """Long stable regimes separated by one large persistent change."""
+        peaks = [2] * 8 + [12] * 8
+        epochs = [make_epoch(i, sharp_values(peak), peak)
+                  for i, peak in enumerate(peaks)]
+        assert classify_behavior(epochs, TOTAL) == \
+            BehaviorClass.TEMPORALLY_LIMITED
+
+    def test_spatially_limited(self):
+        """Stable best over persistent multi-peak curves."""
+        epochs = [make_epoch(i, bimodal_values(), 3) for i in range(10)]
+        assert classify_behavior(epochs, TOTAL) == \
+            BehaviorClass.SPATIALLY_LIMITED
+
+    def test_needs_three_epochs(self):
+        epochs = [make_epoch(0, sharp_values(7), 7)]
+        with pytest.raises(ValueError):
+            classify_behavior(epochs, TOTAL)
+
+    def test_enum_values_match_paper_labels(self):
+        assert {behavior.value for behavior in BehaviorClass} == \
+            {"TS", "SS", "TL", "SL", "JL"}

@@ -1,0 +1,33 @@
+"""Tests for the benchmark harness scale selection."""
+
+import pytest
+
+from benchmarks.conftest import current_scale
+
+
+class TestScaleSelection:
+    def test_default_is_bench_with_subset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        scale = current_scale()
+        assert scale.workloads_per_group == 3
+        assert scale.epochs == 28
+
+    def test_smoke(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        scale = current_scale()
+        assert scale.epoch_size == 1024
+
+    def test_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+        scale = current_scale()
+        assert scale.epoch_size == 64 * 1024
+        assert scale.workloads_per_group is None
+
+    def test_unknown_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "ludicrous")
+        with pytest.raises(ValueError):
+            current_scale()
+
+    def test_case_insensitive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "SMOKE")
+        assert current_scale().epoch_size == 1024

@@ -1,0 +1,94 @@
+"""Tests for the Table 2/3 characteristics derivation."""
+
+import pytest
+
+from repro.analysis.characteristics import (
+    derive_freq_label,
+    requirement_series,
+    resource_requirement,
+    workload_label,
+)
+from repro.pipeline.config import SMTConfig
+from repro.workloads.mixes import get_workload
+from repro.workloads.spec2000 import get_profile
+
+
+class TestFreqLabel:
+    def test_constant_series_is_no(self):
+        assert derive_freq_label([64, 64, 64, 64], 128) == "No"
+
+    def test_small_wiggle_is_no(self):
+        assert derive_freq_label([64, 66, 63, 65], 128) == "No"
+
+    def test_occasional_change_is_low(self):
+        series = [32] * 6 + [96] * 6
+        assert derive_freq_label(series, 128) == "Low"
+
+    def test_constant_toggle_is_high(self):
+        series = [32, 96] * 6
+        assert derive_freq_label(series, 128) == "High"
+
+    def test_needs_two_epochs(self):
+        with pytest.raises(ValueError):
+            derive_freq_label([64], 128)
+
+
+class TestWorkloadLabel:
+    def test_small_two_thread(self):
+        assert workload_label(get_workload("apsi-eon")) == "SM"  # 209 <= 256
+
+    def test_large_high(self):
+        # art-vpr: 176 + 180 = 356 > 256, vpr is High.
+        assert workload_label(get_workload("art-vpr")) == "LG(H)"
+
+    def test_large_low(self):
+        # art-mcf: 273 > 256; mcf is Low, art is No.
+        assert workload_label(get_workload("art-mcf")) == "LG(L)"
+
+    def test_large_low_and_high(self):
+        # mcf-twolf: 281 > 256; mcf Low + twolf High.
+        assert workload_label(get_workload("mcf-twolf")) == "LG(LH)"
+
+    def test_four_thread_threshold(self):
+        # apsi-eon-fma3d-gcc: 209 + 184 = 393 <= 440 -> SM.
+        assert workload_label(get_workload("apsi-eon-fma3d-gcc")) == "SM"
+        # ammp-applu-art-mcf: 558 > 440, contains Low (mcf) + High (ammp).
+        assert workload_label(get_workload("ammp-applu-art-mcf")) == "LG(LH)"
+
+    def test_measured_rsc_override(self):
+        workload = get_workload("apsi-eon")
+        label = workload_label(
+            workload, measured_rsc={"apsi": 200, "eon": 200})
+        assert label.startswith("LG")
+
+    def test_custom_threshold(self):
+        workload = get_workload("apsi-eon")
+        assert workload_label(workload, total=100).startswith("LG")
+
+
+@pytest.mark.slow
+class TestMeasuredRequirements:
+    def test_mem_needs_more_than_serial_mem(self):
+        """art (bursty, high MLP) needs a larger partition than lucas
+        (serial chaser) — the Table 2 ordering."""
+        config = SMTConfig.tiny()
+        art = resource_requirement(get_profile("art"), config, warmup=3000,
+                                   window=4000, step=4)
+        lucas = resource_requirement(get_profile("lucas"), config,
+                                     warmup=3000, window=4000, step=4)
+        assert art >= lucas
+
+    def test_requirement_bounded_by_pool(self):
+        config = SMTConfig.tiny()
+        value = resource_requirement(get_profile("gzip"), config,
+                                     warmup=3000, window=4000, step=8)
+        assert config.min_partition <= value <= config.rename_int
+
+    def test_requirement_series_shape(self):
+        config = SMTConfig.tiny()
+        series = requirement_series(get_profile("gzip"), config,
+                                    warmup=2000, window=1500, epochs=4,
+                                    step=8)
+        assert len(series) == 4
+        assert all(config.min_partition <= value <= config.rename_int
+                   for value in series)

@@ -1,0 +1,100 @@
+"""Tests for processor checkpointing — the foundation of the OFF-LINE and
+RAND-HILL learners and the synchronized comparisons."""
+
+from repro.pipeline.checkpoint import Checkpoint
+from repro.pipeline.config import SMTConfig
+from repro.pipeline.processor import SMTProcessor
+from repro.policies.flush import FlushPolicy
+from repro.policies.static_partition import StaticPartitionPolicy
+from repro.workloads.spec2000 import get_profile
+
+
+def make_proc(benchmarks=("art", "mcf"), policy=None, seed=2):
+    profiles = [get_profile(name) for name in benchmarks]
+    return SMTProcessor(SMTConfig.tiny(), profiles, seed=seed,
+                        policy=policy or StaticPartitionPolicy())
+
+
+def run_signature(proc, cycles):
+    proc.run(cycles)
+    stats = proc.stats
+    return (
+        tuple(stats.committed),
+        tuple(stats.squashed),
+        tuple(stats.mispredicts),
+        tuple(stats.l2_misses),
+        proc.cycle,
+        proc.hierarchy.dl1.stats.misses,
+    )
+
+
+class TestCheckpointReplay:
+    def test_replay_is_bit_identical(self):
+        proc = make_proc()
+        proc.run(3000)
+        checkpoint = Checkpoint(proc)
+        first = run_signature(checkpoint.materialize(), 3000)
+        second = run_signature(checkpoint.materialize(), 3000)
+        assert first == second
+
+    def test_replay_matches_original_continuation(self):
+        proc = make_proc()
+        proc.run(3000)
+        checkpoint = Checkpoint(proc)
+        replay = run_signature(checkpoint.materialize(), 3000)
+        original = run_signature(proc, 3000)
+        assert replay == original
+
+    def test_materializations_are_independent(self):
+        proc = make_proc()
+        proc.run(1000)
+        checkpoint = Checkpoint(proc)
+        a = checkpoint.materialize()
+        b = checkpoint.materialize()
+        a.run(2000)
+        assert b.cycle == 1000
+        assert b.stats.committed != a.stats.committed or \
+            a.stats.committed == b.stats.committed  # b untouched
+        assert b.stats.cycles == 1000
+
+    def test_original_not_affected_by_checkpoint(self):
+        proc = make_proc()
+        proc.run(1000)
+        cycle = proc.cycle
+        Checkpoint(proc)
+        assert proc.cycle == cycle
+
+    def test_partition_divergence_after_restore(self):
+        """Different partitions programmed on two materializations produce
+        different executions — the OFF-LINE trial mechanism."""
+        proc = make_proc()
+        proc.run(3000)
+        checkpoint = Checkpoint(proc)
+        a = checkpoint.materialize()
+        a.partitions.set_shares([6, 26])
+        b = checkpoint.materialize()
+        b.partitions.set_shares([26, 6])
+        a.run(4000)
+        b.run(4000)
+        assert a.stats.committed != b.stats.committed
+
+    def test_policy_state_travels_with_checkpoint(self):
+        proc = make_proc(policy=FlushPolicy())
+        proc.run(4000)
+        checkpoint = Checkpoint(proc)
+        restored = checkpoint.materialize()
+        assert isinstance(restored.policy, FlushPolicy)
+        first = run_signature(restored, 2000)
+        second = run_signature(checkpoint.materialize(), 2000)
+        assert first == second
+
+    def test_size_bytes_positive(self):
+        proc = make_proc()
+        assert Checkpoint(proc).size_bytes > 0
+
+    def test_invariants_after_restore(self):
+        proc = make_proc()
+        proc.run(2500)
+        restored = Checkpoint(proc).materialize()
+        restored.run(2500)
+        assert restored.check_invariants()

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _policy_factory, build_parser, main
+from repro.experiments.runner import ExperimentScale
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_workloads(self, capsys):
+        main(["list-workloads", "--group", "ILP2"])
+        out = capsys.readouterr().out
+        assert "apsi-eon" in out
+        assert out.count("ILP2") == 7
+
+    def test_list_workloads_all(self, capsys):
+        main(["list-workloads"])
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 42 + 2  # header + rule
+
+    def test_list_benchmarks(self, capsys):
+        main(["list-benchmarks"])
+        out = capsys.readouterr().out
+        assert "mcf" in out and "wupwise" in out
+
+    def test_solo(self, capsys):
+        main(["solo", "--benchmark", "gzip", "--scale", "smoke"])
+        out = capsys.readouterr().out
+        assert "stand-alone IPC" in out
+
+    def test_run_smoke(self, capsys):
+        main(["run", "--workload", "art-mcf", "--policy", "ICOUNT",
+              "--scale", "smoke", "--epochs", "2"])
+        out = capsys.readouterr().out
+        assert "weighted IPC" in out
+
+    def test_compare_smoke(self, capsys):
+        main(["compare", "--workload", "art-mcf", "--scale", "smoke",
+              "--epochs", "2", "--policies", "ICOUNT", "STATIC"])
+        out = capsys.readouterr().out
+        assert "ICOUNT" in out and "STATIC" in out
+
+
+class TestPolicyFactory:
+    def test_baselines(self):
+        scale = ExperimentScale.smoke()
+        for name in ("ICOUNT", "flush", "Dcra", "STALL-FLUSH", "PDG"):
+            policy = _policy_factory(name, scale)()
+            assert hasattr(policy, "fetch_priority")
+
+    def test_hill_variants(self):
+        scale = ExperimentScale.smoke()
+        assert _policy_factory("HILL", scale)().metric.name == "weighted_ipc"
+        assert _policy_factory("HILL-IPC", scale)().metric.name == "avg_ipc"
+        assert _policy_factory("HILL-HWIPC", scale)().metric.name == \
+            "harmonic_weighted_ipc"
+
+    def test_phase_hill(self):
+        scale = ExperimentScale.smoke()
+        policy = _policy_factory("PHASE-HILL", scale)()
+        assert policy.name.startswith("PHASE-")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            _policy_factory("MAGIC", ExperimentScale.smoke())

@@ -1,0 +1,70 @@
+"""The paper's motivating scenario as a test: resource clog and what the
+policy families do about it (the examples/memory_clog.py story, asserted).
+"""
+
+import pytest
+
+from repro.core.controller import EpochController
+from repro.pipeline.config import SMTConfig
+from repro.pipeline.processor import SMTProcessor
+from repro.policies.dcra import DCRAPolicy
+from repro.policies.flush import FlushPolicy
+from repro.policies.icount import ICountPolicy
+from repro.policies.static_partition import StaticPartitionPolicy
+from repro.workloads.spec2000 import get_profile
+
+WARMUP = 4000
+WINDOW = 16000
+
+
+@pytest.fixture(scope="module")
+def results():
+    outcome = {}
+    for policy_factory in (ICountPolicy, FlushPolicy, StaticPartitionPolicy,
+                           DCRAPolicy):
+        policy = policy_factory()
+        proc = SMTProcessor(SMTConfig.fast(),
+                            [get_profile("art"), get_profile("gzip")],
+                            seed=0, policy=policy)
+        proc.run(WARMUP)
+        before = proc.stats.copy()
+        proc.run(WINDOW)
+        committed, cycles = proc.stats.delta_since(before)
+        outcome[policy.name] = {
+            "ipcs": [count / cycles for count in committed],
+            "stats": proc.stats,
+            "proc": proc,
+        }
+    return outcome
+
+
+class TestResourceClog:
+    def test_icount_lets_the_mem_thread_clog(self, results):
+        """Under ICOUNT the memory thread (art) grabs a dominant share of
+        the machine, crushing the compute thread relative to what explicit
+        partitioning gives it."""
+        icount_gzip = results["ICOUNT"]["ipcs"][1]
+        static_gzip = results["STATIC"]["ipcs"][1]
+        assert static_gzip > 1.3 * icount_gzip
+
+    def test_partitioning_beats_icount_on_total_throughput(self, results):
+        icount_total = sum(results["ICOUNT"]["ipcs"])
+        static_total = sum(results["STATIC"]["ipcs"])
+        dcra_total = sum(results["DCRA"]["ipcs"])
+        assert static_total > icount_total
+        assert dcra_total > icount_total
+
+    def test_flush_protects_the_compute_thread(self, results):
+        flush_gzip = results["FLUSH"]["ipcs"][1]
+        icount_gzip = results["ICOUNT"]["ipcs"][1]
+        assert flush_gzip > icount_gzip
+
+    def test_flush_actually_flushed(self, results):
+        assert sum(results["FLUSH"]["stats"].flushes) > 0
+
+    def test_partition_stalls_recorded_for_partitioned_policies(self, results):
+        assert sum(results["STATIC"]["stats"].partition_stall_cycles) > 0
+
+    def test_art_survives_everywhere(self, results):
+        for name, data in results.items():
+            assert data["ipcs"][0] > 0.05, name

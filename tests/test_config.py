@@ -1,0 +1,73 @@
+"""Tests for the machine configuration."""
+
+import pytest
+
+from repro.pipeline.config import CacheConfig, SMTConfig
+
+
+class TestPresets:
+    def test_paper_matches_table1(self):
+        config = SMTConfig.paper()
+        assert config.fetch_width == 8
+        assert config.issue_width == 8
+        assert config.commit_width == 8
+        assert config.ifq_size == 32
+        assert config.iq_int_size == 80
+        assert config.iq_fp_size == 80
+        assert config.lsq_size == 256
+        assert config.rename_int == 256
+        assert config.rename_fp == 256
+        assert config.rob_size == 512
+        assert config.fu_int_alu == 6
+        assert config.fu_int_mul == 3
+        assert config.fu_mem_port == 4
+        assert config.fu_fp_add == 3
+        assert config.fu_fp_mul == 3
+        assert config.bp_gshare_entries == 8192
+        assert config.bp_bimodal_entries == 2048
+        assert config.bp_meta_entries == 8192
+        assert config.btb_entries == 2048
+        assert config.btb_assoc == 4
+        assert config.ras_depth == 64
+        assert config.il1 == CacheConfig(64 * 1024, 64, 2, 1)
+        assert config.dl1 == CacheConfig(64 * 1024, 64, 2, 1)
+        assert config.ul2 == CacheConfig(1024 * 1024, 64, 4, 20)
+        assert config.mem_latency == 300
+
+    def test_fast_is_half_scale(self):
+        config = SMTConfig.fast()
+        assert config.rename_int == 128
+        assert config.rob_size == 256
+        assert config.iq_int_size == 40
+
+    def test_tiny_is_small(self):
+        config = SMTConfig.tiny()
+        assert config.rename_int <= 64
+        assert config.rob_size <= 128
+
+    def test_presets_are_valid(self):
+        for config in (SMTConfig.paper(), SMTConfig.fast(), SMTConfig.tiny()):
+            assert config.rename_int >= 2 * config.min_partition
+
+
+class TestValidation:
+    def test_min_partition_too_large(self):
+        with pytest.raises(ValueError):
+            SMTConfig(rename_int=8, min_partition=8)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            SMTConfig(fetch_width=0)
+
+    def test_with_overrides(self):
+        config = SMTConfig.tiny().with_overrides(mem_latency=42)
+        assert config.mem_latency == 42
+        assert SMTConfig.tiny().mem_latency != 42
+
+    def test_frozen(self):
+        config = SMTConfig.tiny()
+        with pytest.raises(Exception):
+            config.mem_latency = 1
+
+    def test_hashable(self):
+        assert hash(SMTConfig.tiny()) == hash(SMTConfig.tiny())

@@ -1,0 +1,138 @@
+"""Tests for the epoch controller."""
+
+import pytest
+
+from repro.core.controller import EpochController, EpochResult
+from repro.pipeline.config import SMTConfig
+from repro.pipeline.processor import SMTProcessor
+from repro.policies.base import ResourcePolicy
+from repro.policies.icount import ICountPolicy
+from repro.workloads.spec2000 import get_profile
+
+
+def make_controller(policy=None, epoch_size=512, benchmarks=("gzip", "eon")):
+    profiles = [get_profile(name) for name in benchmarks]
+    proc = SMTProcessor(SMTConfig.tiny(), profiles, seed=1,
+                        policy=policy or ICountPolicy())
+    return EpochController(proc, epoch_size=epoch_size)
+
+
+class RecordingPolicy(ResourcePolicy):
+    """Test double: records controller callbacks."""
+
+    name = "RECORDER"
+
+    def __init__(self, solo_at=()):
+        self.solo_at = set(solo_at)
+        self.epochs_seen = []
+        self.plans = []
+
+    def plan_epoch(self, proc, epoch_id):
+        self.plans.append(epoch_id)
+        if epoch_id in self.solo_at:
+            return 0
+        return None
+
+    def on_epoch_end(self, proc, epoch):
+        self.epochs_seen.append(epoch)
+
+
+class TestEpochLoop:
+    def test_epoch_result_shape(self):
+        controller = make_controller()
+        result = controller.run_epoch()
+        assert isinstance(result, EpochResult)
+        assert result.epoch_id == 0
+        assert result.kind == "normal"
+        assert result.cycles == 512
+        assert len(result.committed) == 2
+        assert len(result.ipcs) == 2
+
+    def test_epoch_ids_increment(self):
+        controller = make_controller()
+        results = controller.run(3)
+        assert [result.epoch_id for result in results] == [0, 1, 2]
+
+    def test_history_accumulates(self):
+        controller = make_controller()
+        controller.run(4)
+        assert len(controller.history) == 4
+
+    def test_ipcs_derived_from_committed(self):
+        controller = make_controller()
+        result = controller.run_epoch()
+        for ipc, committed in zip(result.ipcs, result.committed):
+            assert ipc == pytest.approx(committed / result.cycles)
+
+    def test_policy_callbacks_invoked(self):
+        policy = RecordingPolicy()
+        controller = make_controller(policy=policy)
+        controller.run(3)
+        assert policy.plans == [0, 1, 2]
+        assert len(policy.epochs_seen) == 3
+
+    def test_invalid_epoch_size(self):
+        profiles = [get_profile("gzip")]
+        proc = SMTProcessor(SMTConfig.tiny(), profiles, policy=ICountPolicy())
+        with pytest.raises(ValueError):
+            EpochController(proc, epoch_size=0)
+
+
+class TestSoloEpochs:
+    def test_solo_epoch_marks_kind(self):
+        policy = RecordingPolicy(solo_at={1})
+        controller = make_controller(policy=policy)
+        results = controller.run(3)
+        assert results[0].kind == "normal"
+        assert results[1].kind == "solo"
+        assert results[1].solo_thread == 0
+        assert results[2].kind == "normal"
+
+    def test_solo_epoch_starves_other_thread(self):
+        policy = RecordingPolicy(solo_at={2})
+        controller = make_controller(policy=policy, epoch_size=1024)
+        results = controller.run(3)
+        solo = results[2]
+        assert solo.committed[0] > 0
+        assert solo.committed[1] < solo.committed[0] / 2
+
+    def test_all_threads_reenabled_after_solo(self):
+        policy = RecordingPolicy(solo_at={0})
+        controller = make_controller(policy=policy, epoch_size=1024)
+        controller.run(3)
+        assert controller.proc.enabled == {0, 1}
+        assert controller.history[2].committed[1] > 0
+
+
+class TestTotals:
+    def test_totals_match_history_without_stalls(self):
+        controller = make_controller()
+        controller.run(4)
+        committed, cycles = controller.totals()
+        assert cycles == 4 * 512
+        history_sum = [0, 0]
+        for result in controller.history:
+            for tid, count in enumerate(result.committed):
+                history_sum[tid] += count
+        assert committed == history_sum
+
+    def test_totals_include_interepoch_stalls(self):
+        class StallingPolicy(ResourcePolicy):
+            name = "STALLER"
+
+            def on_epoch_end(self, proc, epoch):
+                proc.charge_stall(100)
+
+        controller = make_controller(policy=StallingPolicy())
+        controller.run(4)
+        __, cycles = controller.totals()
+        assert cycles == 4 * 512 + 4 * 100
+
+    def test_overall_ipcs_positive(self):
+        controller = make_controller()
+        controller.run(4)
+        assert all(ipc > 0 for ipc in controller.overall_ipcs())
+
+    def test_overall_ipcs_zero_before_running(self):
+        controller = make_controller()
+        assert controller.overall_ipcs() == [0.0, 0.0]

@@ -1,0 +1,70 @@
+"""DCRA behaviour with four hardware contexts (the Figure 9/11 setting)."""
+
+import pytest
+
+from repro.pipeline.config import SMTConfig
+from repro.pipeline.processor import SMTProcessor
+from repro.policies.dcra import DCRAPolicy
+from repro.workloads.spec2000 import get_profile
+
+
+def make_proc(policy, benchmarks=("art", "mcf", "gzip", "eon"), seed=1):
+    profiles = [get_profile(name) for name in benchmarks]
+    return SMTProcessor(SMTConfig.tiny(), profiles, seed=seed, policy=policy)
+
+
+class TestDCRAFourThreads:
+    def test_caps_partition_the_machine(self):
+        policy = DCRAPolicy(update_interval=1)
+        proc = make_proc(policy)
+        for __ in range(40):
+            proc.run(100)
+            limits = proc.partitions
+            assert sum(limits.limit_int_rename) <= proc.config.rename_int
+            assert sum(limits.limit_rob) <= proc.config.rob_size
+            assert all(limit >= 1 for limit in limits.limit_int_rename)
+
+    def test_mixed_classification_shapes_caps(self):
+        """With MEM and ILP threads co-scheduled, the missing threads'
+        caps exceed the compute threads' caps whenever classification is
+        split."""
+        policy = DCRAPolicy(update_interval=1)
+        proc = make_proc(policy)
+        saw_split = False
+        for __ in range(120):
+            proc.run(50)
+            classes = policy._last_classes
+            if classes and any(classes) and not all(classes):
+                limits = proc.partitions.limit_int_rename
+                slow_caps = [limits[tid] for tid, slow in enumerate(classes)
+                             if slow]
+                fast_caps = [limits[tid] for tid, slow in enumerate(classes)
+                             if not slow]
+                assert min(slow_caps) >= max(fast_caps)
+                saw_split = True
+        assert saw_split
+
+    def test_weight_parameter_controls_asymmetry(self):
+        gentle = DCRAPolicy(slow_weight=1.0)
+        proc_gentle = make_proc(gentle)
+        gentle._recompute(proc_gentle, (True, False, False, False))
+        aggressive = DCRAPolicy(slow_weight=4.0)
+        proc_aggr = make_proc(aggressive)
+        aggressive._recompute(proc_aggr, (True, False, False, False))
+        gentle_limits = proc_gentle.partitions.limit_int_rename
+        aggressive_limits = proc_aggr.partitions.limit_int_rename
+        assert aggressive_limits[0] > gentle_limits[0]
+        assert gentle_limits[0] == gentle_limits[1]  # weight 1.0 = equal
+
+    def test_all_slow_equal_split(self):
+        policy = DCRAPolicy()
+        proc = make_proc(policy)
+        policy._recompute(proc, (True, True, True, True))
+        limits = proc.partitions.limit_int_rename
+        assert len(set(limits)) == 1
+
+    def test_progress_under_dcra_4t(self):
+        proc = make_proc(DCRAPolicy())
+        proc.run(8000)
+        assert all(count > 0 for count in proc.stats.committed)
+        assert proc.check_invariants()

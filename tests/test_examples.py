@@ -1,0 +1,49 @@
+"""Every example script must at least run (with reduced arguments where
+supported) and produce plausible output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "art-mcf", "4")
+        assert "ICOUNT" in out
+        assert "learned partition" in out
+
+    def test_trace_pipeline(self):
+        out = run_example("trace_pipeline.py", "art-gzip")
+        assert "fair split" in out
+        assert "starved" in out
+        assert "|" in out
+
+    def test_qualitative_cases_subset(self):
+        out = run_example("qualitative_cases.py", "art", "lucas")
+        assert "art" in out and "lucas" in out
+        assert "deep gain" in out
+
+    @pytest.mark.slow
+    def test_offline_limit(self):
+        out = run_example("offline_limit.py", "art-mcf", "4", timeout=420)
+        assert "OFF-LINE" in out
+        assert "best" in out
+
+    def test_all_examples_have_docstrings_and_main(self):
+        for path in sorted(EXAMPLES.glob("*.py")):
+            source = path.read_text()
+            assert source.lstrip().startswith(('#!/usr/bin/env python', '"""')), path
+            assert '__main__' in source, path

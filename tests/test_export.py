@@ -1,0 +1,65 @@
+"""Tests for result export helpers."""
+
+import csv
+import io
+import json
+
+from repro.core.controller import EpochResult
+from repro.experiments.export import (
+    figure_rows_to_records,
+    rows_to_csv,
+    to_json,
+)
+from repro.workloads.profile import PhaseVariation
+
+
+class TestToJson:
+    def test_plain_dict(self):
+        text = to_json({"a": 1, "b": [1.5, "x"]})
+        assert json.loads(text) == {"a": 1, "b": [1.5, "x"]}
+
+    def test_dataclass(self):
+        result = EpochResult(epoch_id=1, kind="normal", committed=[5],
+                             cycles=10)
+        data = json.loads(to_json(result))
+        assert data["epoch_id"] == 1
+        assert data["committed"] == [5]
+
+    def test_enum(self):
+        assert json.loads(to_json({"freq": PhaseVariation.HIGH})) == \
+            {"freq": "High"}
+
+    def test_tuple_keys_coerced(self):
+        text = to_json({(1, 2): 3})
+        assert "(1, 2)" in text
+
+    def test_file_output(self, tmp_path):
+        path = tmp_path / "out.json"
+        to_json({"x": 1}, path=str(path))
+        assert json.loads(path.read_text()) == {"x": 1}
+
+
+class TestCsv:
+    def test_roundtrip(self):
+        text = rows_to_csv(["a", "b"], [[1, 2], [3, 4]])
+        parsed = list(csv.reader(io.StringIO(text)))
+        assert parsed == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_file_output(self, tmp_path):
+        path = tmp_path / "out.csv"
+        rows_to_csv(["x"], [[1]], path=str(path))
+        assert path.read_text().startswith("x")
+
+
+class TestFigureRecords:
+    def test_flatten(self):
+        rows = [("art-mcf", "MEM2", {"HILL": 0.5, "DCRA": 0.6})]
+        records = figure_rows_to_records(rows)
+        assert len(records) == 2
+        assert {record["policy"] for record in records} == {"HILL", "DCRA"}
+        assert all(record["workload"] == "art-mcf" for record in records)
+
+    def test_extra_row_fields_ignored(self):
+        rows = [("w", "G", {"A": 1.0}, "label", "behavior")]
+        records = figure_rows_to_records(rows)
+        assert records[0]["group"] == "G"

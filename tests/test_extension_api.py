@@ -1,0 +1,108 @@
+"""Adoption-path tests: the extension points a downstream user relies on
+(custom profiles, custom policies, custom metrics) work through the public
+API without touching library internals."""
+
+from repro import (
+    EpochController,
+    ResourcePolicy,
+    SMTConfig,
+    SMTProcessor,
+)
+from repro.core.hill_climbing import HillClimbingPolicy
+from repro.core.metrics import PerformanceMetric
+from repro.pipeline.resources import equal_shares
+from repro.workloads.profile import BenchmarkProfile, PhaseParams, PhaseVariation
+
+
+def custom_profile():
+    """A user-defined benchmark, not part of the Table 2 suite."""
+    return BenchmarkProfile(
+        name="userbench", ctype="MEM", is_fp=False, rsc_hint=123,
+        freq=PhaseVariation.NONE,
+        phase_a=PhaseParams(dep_distance=9.0, serial_frac=0.1,
+                            mem_frac=0.05, l2_frac=0.05, miss_burst=2.0,
+                            burst_gap=10.0),
+        load_frac=0.3,
+    )
+
+
+class RoundRobinPolicy(ResourcePolicy):
+    """A user-defined fetch policy: strict round-robin, no partitioning."""
+
+    name = "USER-RR"
+
+    def __init__(self):
+        self._turn = 0
+
+    def fetch_priority(self, proc, eligible):
+        self._turn += 1
+        offset = self._turn % max(1, len(eligible))
+        return eligible[offset:] + eligible[:offset]
+
+
+class MinIPCMetric(PerformanceMetric):
+    """A user-defined objective: maximize the worst thread's IPC."""
+
+    name = "min_ipc"
+
+    def value(self, ipcs, single_ipcs=None):
+        return min(ipcs)
+
+
+class TestCustomProfile:
+    def test_runs_alongside_builtin_benchmarks(self):
+        from repro import get_profile
+
+        proc = SMTProcessor(SMTConfig.tiny(),
+                            [custom_profile(), get_profile("gzip")],
+                            seed=1)
+        proc.run(4000)
+        assert all(count > 0 for count in proc.stats.committed)
+        assert proc.check_invariants()
+
+
+class TestCustomPolicy:
+    def test_round_robin_policy_runs(self):
+        from repro import get_workload
+
+        workload = get_workload("art-gzip")
+        proc = SMTProcessor(SMTConfig.tiny(), workload.profiles, seed=1,
+                            policy=RoundRobinPolicy())
+        controller = EpochController(proc, epoch_size=512)
+        controller.run(4)
+        assert sum(controller.totals()[0]) > 0
+
+    def test_custom_policy_with_partitioning(self):
+        from repro import get_workload
+
+        class HalfAndHalf(ResourcePolicy):
+            name = "USER-HALF"
+
+            def attach(self, proc):
+                proc.partitions.set_shares(
+                    equal_shares(proc.config, proc.num_threads))
+
+        workload = get_workload("art-gzip")
+        proc = SMTProcessor(SMTConfig.tiny(), workload.profiles, seed=1,
+                            policy=HalfAndHalf())
+        proc.run(2000)
+        assert proc.partitions.partitioned
+
+
+class TestCustomMetric:
+    def test_hill_climbs_a_user_metric(self):
+        from repro import get_workload
+
+        workload = get_workload("art-gzip")
+        policy = HillClimbingPolicy(metric=MinIPCMetric(),
+                                    sample_period=None, software_cost=0)
+        proc = SMTProcessor(SMTConfig.tiny(), workload.profiles, seed=1,
+                            policy=policy)
+        controller = EpochController(proc, epoch_size=512)
+        controller.run(6)
+        assert policy.feedback([0.5, 2.0]) == 0.5
+        assert sum(policy.anchor) == proc.config.rename_int
+
+    def test_metric_name_flows_into_policy_name(self):
+        policy = HillClimbingPolicy(metric=MinIPCMetric())
+        assert policy.name == "HILL-min_ipc"

@@ -1,0 +1,132 @@
+"""Smoke tests: every per-figure/table driver runs at smoke scale and
+returns structurally valid results.  Numeric shape assertions live in the
+benchmark harness; here we verify the drivers compose.
+"""
+
+import pytest
+
+from repro.experiments import ablations, figures, tables
+from repro.experiments.runner import ExperimentScale
+from repro.workloads.mixes import get_workload
+
+
+@pytest.fixture(scope="module")
+def scale():
+    return ExperimentScale.smoke().with_overrides(epochs=4)
+
+
+@pytest.fixture(scope="module")
+def one_workload():
+    return [get_workload("art-mcf")]
+
+
+class TestFigureDrivers:
+    def test_fig2_surface(self, scale):
+        surface = figures.fig2_surface(scale, interval=512)
+        assert surface.ipc
+        assert surface.peak_ipc > 0
+
+    def test_fig4_offline_limit(self, scale, one_workload):
+        result = figures.fig4_offline_limit(scale, workloads=one_workload)
+        assert len(result["rows"]) == 1
+        __, __, values = result["rows"][0]
+        assert set(values) == {"ICOUNT", "FLUSH", "DCRA", "OFF-LINE"}
+        assert set(result["gains"]) == {"ICOUNT", "FLUSH", "DCRA"}
+
+    def test_fig5_sync_timeline(self, scale):
+        result = figures.fig5_sync_timeline(scale)
+        assert set(result["offline_win_rates"]) == {"ICOUNT", "FLUSH", "DCRA"}
+        assert len(result["timeline"].series["OFF-LINE"]) == scale.epochs
+
+    def test_fig6_hill_width_demo(self, scale):
+        result = figures.fig6_hill_width_demo(scale)
+        assert result["curve"]
+        assert set(result["widths"]) == {0.99, 0.98, 0.97, 0.95, 0.90}
+
+    def test_fig7_hill_widths(self, scale, one_workload):
+        result = figures.fig7_hill_widths(scale, workloads=one_workload)
+        assert len(result["rows"]) == 1
+        __, __, widths = result["rows"][0]
+        assert all(width >= 0 for width in widths.values())
+
+    def test_fig9_hill_vs_baselines(self, scale, one_workload):
+        result = figures.fig9_hill_vs_baselines(scale, workloads=one_workload)
+        __, __, values = result["rows"][0]
+        assert set(values) == {"ICOUNT", "FLUSH", "DCRA", "HILL"}
+        assert "MEM2" in result["group_gains"]
+
+    def test_fig10_metric_goals(self, scale, one_workload):
+        result = figures.fig10_metric_goals(scale, workloads=one_workload)
+        assert set(result["summary"]) == {
+            "weighted_ipc", "avg_ipc", "harmonic_weighted_ipc"}
+        for per_policy in result["summary"].values():
+            assert "HILL-WIPC" in per_policy
+
+    def test_fig11_vs_ideal(self, scale):
+        result = figures.fig11_vs_ideal(
+            scale,
+            workloads2=[get_workload("art-mcf")],
+            workloads4=[get_workload("art-mcf-swim-twolf")],
+        )
+        assert len(result["rows2"]) == 1
+        assert len(result["rows4"]) == 1
+        assert result["hill_fraction_of_offline"] > 0
+        assert result["hill_fraction_of_rand_hill"] > 0
+
+    def test_fig12_behaviors(self, scale, one_workload):
+        result = figures.fig12_behaviors(scale, workloads=one_workload)
+        row = result["rows"][0]
+        assert row["behavior"] in {"TS", "SS", "TL", "SL", "JL"}
+        assert len(row["offline_best_shares"]) == scale.epochs
+
+    def test_sec5_phase_hill(self, scale, one_workload):
+        result = figures.sec5_phase_hill(scale, workloads=one_workload)
+        __, __, values = result["rows"][0]
+        assert set(values) == {"HILL", "PHASE-HILL"}
+
+
+class TestTableDrivers:
+    def test_table1(self, scale):
+        rows = tables.table1_configuration(scale.config)
+        labels = [label for label, __ in rows]
+        assert "Bandwidth" in labels
+        assert "IL1 config" in labels
+
+    def test_table2(self, scale):
+        rows = tables.table2_characteristics(
+            scale, benchmarks=["gzip", "art"], epochs=3)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["measured_freq"] in {"No", "Low", "High"}
+            assert row["measured_rsc"] >= scale.config.min_partition
+
+    def test_table3(self):
+        rows = tables.table3_workloads()
+        assert len(rows) == 42
+        assert sum(1 for row in rows if row["group"] == "MIX4") == 7
+
+
+class TestAblations:
+    def test_epoch_size_sweep(self, scale, one_workload):
+        rows = ablations.epoch_size_sweep(one_workload[0], scale,
+                                          epoch_sizes=(512, 1024))
+        assert [size for size, __ in rows] == [512, 1024]
+
+    def test_delta_sweep(self, scale, one_workload):
+        rows = ablations.delta_sweep(one_workload[0], scale, deltas=(2, 4))
+        assert len(rows) == 2
+
+    def test_sample_period_sweep(self, scale, one_workload):
+        rows = ablations.sample_period_sweep(one_workload[0], scale,
+                                             periods=(4, None))
+        assert len(rows) == 2
+
+    def test_software_cost_sweep(self, scale, one_workload):
+        rows = ablations.software_cost_sweep(one_workload[0], scale,
+                                             costs=(0, 100))
+        assert rows[0][1] > 0
+
+    def test_offline_stride_sweep(self, scale, one_workload):
+        rows = ablations.offline_stride_sweep(one_workload[0], scale,
+                                              strides=(16, 8))
+        assert len(rows) == 2

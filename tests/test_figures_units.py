@@ -1,0 +1,60 @@
+"""Unit tests for figure-driver helpers (the expensive drivers are smoke-
+tested in test_figures_smoke)."""
+
+import pytest
+
+from repro.core.metrics import WeightedIPC
+from repro.experiments import figures
+from repro.experiments.runner import ExperimentScale
+from repro.workloads.mixes import get_workload
+
+
+class TestHelpers:
+    def test_best_mismatched_excludes_matched(self):
+        summary = {
+            "avg_ipc": {"HILL-IPC": 1.0, "HILL-WIPC": 0.8, "HILL-HWIPC": 0.9,
+                        "ICOUNT": 0.7},
+        }
+        assert figures._best_mismatched(summary, "avg_ipc", "HILL-IPC") == 0.9
+
+    def test_best_mismatched_no_others(self):
+        summary = {"avg_ipc": {"HILL-IPC": 1.0}}
+        assert figures._best_mismatched(summary, "avg_ipc", "HILL-IPC") == 0.0
+
+    def test_hill_factory_applies_scale_overheads(self):
+        scale = ExperimentScale.bench()
+        policy = figures._hill_factory(WeightedIPC(), scale)()
+        assert policy.software_cost == scale.hill_software_cost
+        assert policy.sample_period == scale.hill_sample_period
+
+    def test_hill_factory_without_scale_uses_paper_defaults(self):
+        policy = figures._hill_factory(WeightedIPC())()
+        assert policy.software_cost == 200
+        assert policy.sample_period == 40
+
+    def test_group_constants(self):
+        assert figures.TWO_THREAD_GROUPS == ("ILP2", "MIX2", "MEM2")
+        assert figures.FOUR_THREAD_GROUPS == ("ILP4", "MIX4", "MEM4")
+        assert len(figures.ALL_GROUPS) == 6
+
+
+class TestLearnerDrivers:
+    def test_run_offline_epoch_override(self):
+        scale = ExperimentScale.smoke()
+        learner = figures.run_offline(get_workload("art-mcf"), scale,
+                                      epochs=2)
+        assert len(learner.epochs) == 2
+
+    def test_run_rand_hill_epoch_override(self):
+        scale = ExperimentScale.smoke()
+        learner = figures.run_rand_hill(get_workload("art-mcf"), scale,
+                                        epochs=2)
+        assert len(learner.epochs) == 2
+        assert all(epoch.trials <= scale.rand_hill_budget
+                   for epoch in learner.epochs)
+
+    def test_offline_uses_scale_stride(self):
+        scale = ExperimentScale.smoke().with_overrides(stride=16)
+        learner = figures.run_offline(get_workload("art-mcf"), scale,
+                                      epochs=1)
+        assert learner.stride == 16

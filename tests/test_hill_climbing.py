@@ -1,0 +1,186 @@
+"""Tests for the Figure 8 hill-climbing algorithm."""
+
+import pytest
+
+from repro.core.controller import EpochController, EpochResult
+from repro.core.hill_climbing import HillClimbingPolicy, make_hill_policy
+from repro.core.metrics import AvgIPC, WeightedIPC
+from repro.pipeline.config import SMTConfig
+from repro.pipeline.processor import SMTProcessor
+from repro.workloads.spec2000 import get_profile
+
+
+def make_proc(policy, benchmarks=("gzip", "eon"), seed=1):
+    profiles = [get_profile(name) for name in benchmarks]
+    return SMTProcessor(SMTConfig.tiny(), profiles, seed=seed, policy=policy)
+
+
+def feed_epoch(policy, proc, epoch_id, ipcs, kind="normal", solo_thread=None):
+    """Deliver a synthetic epoch result to the policy."""
+    result = EpochResult(
+        epoch_id=epoch_id, kind=kind,
+        committed=[int(ipc * 1000) for ipc in ipcs], cycles=1000,
+        ipcs=list(ipcs), shares=list(proc.partitions.shares or []),
+        solo_thread=solo_thread,
+    )
+    policy.on_epoch_end(proc, result)
+    return result
+
+
+class TestAttachAndTrials:
+    def test_attach_sets_equal_anchor(self):
+        policy = HillClimbingPolicy(sample_period=None)
+        make_proc(policy)
+        assert policy.anchor == [16, 16]
+
+    def test_first_trial_favors_thread_zero(self):
+        policy = HillClimbingPolicy(sample_period=None)
+        proc = make_proc(policy)
+        assert proc.partitions.shares == [20, 12]  # +delta*(N-1) / -delta
+
+    def test_trials_rotate_threads(self):
+        policy = HillClimbingPolicy(sample_period=None, software_cost=0)
+        proc = make_proc(policy)
+        feed_epoch(policy, proc, 0, [1.0, 1.0])
+        # learn_epoch now 1 -> trial favors thread 1
+        assert proc.partitions.shares == [12, 20]
+
+    def test_delta_validation(self):
+        with pytest.raises(ValueError):
+            HillClimbingPolicy(delta=0)
+
+    def test_name_includes_metric(self):
+        assert "weighted_ipc" in HillClimbingPolicy().name
+        assert "avg_ipc" in HillClimbingPolicy(metric=AvgIPC()).name
+
+    def test_make_hill_policy_by_name(self):
+        assert make_hill_policy("ipc").metric.name == "avg_ipc"
+        assert make_hill_policy("wipc").metric.name == "weighted_ipc"
+
+
+class TestGradientMove:
+    def test_anchor_moves_toward_best_direction(self):
+        policy = HillClimbingPolicy(sample_period=None, software_cost=0,
+                                    metric=AvgIPC())
+        proc = make_proc(policy)
+        # Round: direction 0 scores 1.0, direction 1 scores 3.0.
+        feed_epoch(policy, proc, 0, [0.5, 0.5])
+        feed_epoch(policy, proc, 1, [1.5, 1.5])
+        assert policy.anchor == [12, 20]  # moved toward thread 1
+
+    def test_anchor_unchanged_mid_round(self):
+        policy = HillClimbingPolicy(sample_period=None, software_cost=0,
+                                    metric=AvgIPC())
+        proc = make_proc(policy)
+        feed_epoch(policy, proc, 0, [0.5, 0.5])
+        assert policy.anchor == [16, 16]
+
+    def test_anchor_walks_repeatedly_in_consistent_direction(self):
+        policy = HillClimbingPolicy(sample_period=None, software_cost=0,
+                                    metric=AvgIPC())
+        proc = make_proc(policy)
+        epoch_id = 0
+        for __ in range(3):  # 3 full rounds favoring thread 0
+            feed_epoch(policy, proc, epoch_id, [2.0, 2.0])
+            epoch_id += 1
+            feed_epoch(policy, proc, epoch_id, [0.5, 0.5])
+            epoch_id += 1
+        assert policy.anchor[0] == 16 + 3 * policy.delta
+
+    def test_anchor_respects_minimum(self):
+        policy = HillClimbingPolicy(sample_period=None, software_cost=0,
+                                    metric=AvgIPC(), delta=8)
+        proc = make_proc(policy)
+        epoch_id = 0
+        for __ in range(12):  # walk hard toward thread 1
+            feed_epoch(policy, proc, epoch_id, [0.1, 0.1])
+            epoch_id += 1
+            feed_epoch(policy, proc, epoch_id, [5.0, 5.0])
+            epoch_id += 1
+        minimum = proc.config.min_partition
+        assert policy.anchor[0] >= minimum
+        assert sum(policy.anchor) == proc.config.rename_int
+
+    def test_stall_charged_per_normal_epoch(self):
+        policy = HillClimbingPolicy(sample_period=None, software_cost=77)
+        proc = make_proc(policy)
+        cycles_before = proc.stats.cycles
+        feed_epoch(policy, proc, 0, [1.0, 1.0])
+        assert proc.stats.cycles == cycles_before + 77
+
+
+class TestFeedbackMetrics:
+    def test_avg_ipc_feedback(self):
+        policy = HillClimbingPolicy(metric=AvgIPC(), sample_period=None)
+        make_proc(policy)
+        assert policy.feedback([1.0, 2.0]) == pytest.approx(3.0)
+
+    def test_weighted_feedback_defaults_to_unity_singles(self):
+        policy = HillClimbingPolicy(metric=WeightedIPC(), sample_period=None)
+        make_proc(policy)
+        assert policy.feedback([1.0, 2.0]) == pytest.approx(1.5)
+
+    def test_weighted_feedback_uses_sampled_singles(self):
+        policy = HillClimbingPolicy(metric=WeightedIPC(), sample_period=None)
+        proc = make_proc(policy)
+        policy.single_ipc = [2.0, 4.0]
+        assert policy.feedback([1.0, 2.0]) == pytest.approx(0.5)
+
+
+class TestSingleIPCSampling:
+    def test_sampling_schedule(self):
+        policy = HillClimbingPolicy(metric=WeightedIPC(), sample_period=5)
+        proc = make_proc(policy)
+        plans = [policy.plan_epoch(proc, epoch_id) for epoch_id in range(11)]
+        assert plans[0] == 0       # first sample: thread 0
+        assert plans[5] == 1       # second: thread 1 (rotation)
+        assert plans[10] == 0
+        assert all(plan is None for i, plan in enumerate(plans)
+                   if i not in (0, 5, 10))
+
+    def test_no_sampling_for_throughput_metric(self):
+        policy = HillClimbingPolicy(metric=AvgIPC(), sample_period=5)
+        proc = make_proc(policy)
+        assert all(policy.plan_epoch(proc, epoch_id) is None
+                   for epoch_id in range(12))
+
+    def test_sampling_disabled_by_none(self):
+        policy = HillClimbingPolicy(metric=WeightedIPC(), sample_period=None)
+        proc = make_proc(policy)
+        assert policy.plan_epoch(proc, 0) is None
+
+    def test_solo_epoch_records_single_ipc(self):
+        policy = HillClimbingPolicy(metric=WeightedIPC(), sample_period=5,
+                                    software_cost=0)
+        proc = make_proc(policy)
+        feed_epoch(policy, proc, 0, [1.25, 0.0], kind="solo", solo_thread=0)
+        assert policy.single_ipc[0] == pytest.approx(1.25)
+        assert policy.single_ipc[1] is None
+
+    def test_solo_epoch_not_a_learning_trial(self):
+        policy = HillClimbingPolicy(metric=WeightedIPC(), sample_period=5,
+                                    software_cost=0)
+        proc = make_proc(policy)
+        learn_before = policy.learn_epoch
+        feed_epoch(policy, proc, 0, [1.0, 0.0], kind="solo", solo_thread=0)
+        assert policy.learn_epoch == learn_before
+
+
+class TestEndToEnd:
+    def test_full_run_improves_or_holds_vs_start(self):
+        policy = HillClimbingPolicy(sample_period=None, software_cost=0,
+                                    metric=AvgIPC())
+        proc = make_proc(policy, benchmarks=("art", "gzip"))
+        proc.run(3000)
+        controller = EpochController(proc, epoch_size=1024)
+        controller.run(12)
+        assert sum(policy.anchor) == proc.config.rename_int
+        assert all(share >= proc.config.min_partition
+                   for share in policy.anchor)
+
+    def test_current_anchor_is_a_copy(self):
+        policy = HillClimbingPolicy(sample_period=None)
+        make_proc(policy)
+        snapshot = policy.current_anchor
+        snapshot[0] = 999
+        assert policy.anchor[0] != 999

@@ -1,0 +1,107 @@
+"""Tests for the hill-width analysis (Figures 6/7)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.hill_width import hill_width, hill_widths, peak_count
+
+
+def triangle_curve(peak_at=64, total=128, step=8):
+    """Symmetric single-peak curve over [0, total]."""
+    return [
+        (position, 1.0 - abs(position - peak_at) / total)
+        for position in range(0, total + 1, step)
+    ]
+
+
+class TestHillWidth:
+    def test_flat_curve_full_width(self):
+        curve = [(position, 1.0) for position in range(0, 129, 8)]
+        assert hill_width(curve, 0.95) == 128
+
+    def test_sharp_spike_narrow_width(self):
+        curve = [(position, 1.0 if position == 64 else 0.1)
+                 for position in range(0, 129, 8)]
+        assert hill_width(curve, 0.95) == 0
+
+    def test_triangle_widths_scale_with_level(self):
+        curve = triangle_curve()
+        narrow = hill_width(curve, 0.99)
+        wide = hill_width(curve, 0.90)
+        assert narrow < wide
+
+    def test_width_measured_in_position_units(self):
+        curve = triangle_curve(step=8)
+        assert hill_width(curve, 0.95) % 8 == 0
+
+    def test_unsorted_input_accepted(self):
+        curve = triangle_curve()
+        assert hill_width(list(reversed(curve)), 0.95) == \
+            hill_width(curve, 0.95)
+
+    def test_level_validation(self):
+        with pytest.raises(ValueError):
+            hill_width(triangle_curve(), 0.0)
+        with pytest.raises(ValueError):
+            hill_width(triangle_curve(), 1.5)
+
+    def test_short_curve_rejected(self):
+        with pytest.raises(ValueError):
+            hill_width([(0, 1.0)], 0.9)
+
+    def test_duplicate_positions_rejected(self):
+        with pytest.raises(ValueError):
+            hill_width([(0, 1.0), (0, 0.5), (8, 0.2)], 0.9)
+
+    def test_width_only_counts_contiguous_region(self):
+        """A second high region disconnected from the peak does not widen
+        the peak's hill."""
+        curve = [(0, 0.99), (8, 0.2), (16, 1.0), (24, 0.2), (32, 0.99)]
+        assert hill_width(curve, 0.95) == 0
+
+    def test_hill_widths_levels(self):
+        widths = hill_widths(triangle_curve())
+        assert set(widths) == {0.99, 0.98, 0.97, 0.95, 0.90}
+        values = [widths[level] for level in sorted(widths)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestPeakCount:
+    def test_single_peak(self):
+        assert peak_count(triangle_curve()) == 1
+
+    def test_two_peaks(self):
+        curve = [(0, 0.2), (8, 1.0), (16, 0.3), (24, 0.9), (32, 0.2)]
+        assert peak_count(curve) == 2
+
+    def test_flat_curve_one_peak(self):
+        curve = [(position, 1.0) for position in range(0, 33, 8)]
+        assert peak_count(curve, prominence=0.02) <= 1
+
+    def test_small_bumps_ignored_with_large_prominence(self):
+        curve = [(0, 0.50), (8, 0.51), (16, 0.50), (24, 1.0), (32, 0.2)]
+        assert peak_count(curve, prominence=0.10) == 1
+
+    def test_zero_curve(self):
+        curve = [(0, 0.0), (8, 0.0)]
+        assert peak_count(curve) == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.floats(0.01, 1.0), min_size=3, max_size=40, unique=True))
+def test_property_width_monotone_in_level(values):
+    curve = list(enumerate(values))
+    previous = None
+    for level in (0.99, 0.95, 0.90, 0.80):
+        width = hill_width(curve, level)
+        if previous is not None:
+            assert width >= previous
+        previous = width
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.floats(0.01, 1.0), min_size=3, max_size=40))
+def test_property_width_bounded_by_span(values):
+    curve = list(enumerate(values))
+    span = len(values) - 1
+    assert 0 <= hill_width(curve, 0.9) <= span

@@ -1,0 +1,124 @@
+"""End-to-end integration tests exercising the public API the way the
+examples and the benchmark harness do."""
+
+import pytest
+
+from repro import (
+    Checkpoint,
+    DCRAPolicy,
+    EpochController,
+    FlushPolicy,
+    HillClimbingPolicy,
+    ICountPolicy,
+    OfflineExhaustiveLearner,
+    PhaseHillPolicy,
+    RandHillLearner,
+    SMTConfig,
+    SMTProcessor,
+    StaticPartitionPolicy,
+    WeightedIPC,
+    get_workload,
+)
+
+
+def build(policy, workload_name="art-gzip", seed=1, warmup=2000):
+    workload = get_workload(workload_name)
+    proc = SMTProcessor(SMTConfig.tiny(), workload.profiles, seed=seed,
+                        policy=policy)
+    proc.run(warmup)
+    return proc
+
+
+class TestPublicAPI:
+    def test_quickstart_flow(self):
+        proc = build(HillClimbingPolicy(sample_period=None))
+        controller = EpochController(proc, epoch_size=1024)
+        controller.run(8)
+        ipcs = controller.overall_ipcs()
+        assert len(ipcs) == 2
+        assert all(ipc > 0 for ipc in ipcs)
+        anchor = proc.policy.current_anchor
+        assert sum(anchor) == proc.config.rename_int
+
+    def test_every_policy_family_runs_on_one_workload(self):
+        for policy in (ICountPolicy(), FlushPolicy(), DCRAPolicy(),
+                       StaticPartitionPolicy(), HillClimbingPolicy(),
+                       PhaseHillPolicy()):
+            proc = build(policy)
+            controller = EpochController(proc, epoch_size=512)
+            controller.run(4)
+            assert sum(controller.totals()[0]) > 0, policy.name
+            assert proc.check_invariants()
+
+    def test_offline_learner_integration(self):
+        proc = build(StaticPartitionPolicy())
+        learner = OfflineExhaustiveLearner(proc, 512, metric=WeightedIPC(),
+                                           single_ipcs=[1.0, 1.0], stride=8)
+        epochs = learner.run(2)
+        assert len(epochs) == 2
+        assert all(epoch.best_value > 0 for epoch in epochs)
+
+    def test_rand_hill_integration(self):
+        proc = build(StaticPartitionPolicy(),
+                     workload_name="ammp-applu-art-mcf")
+        learner = RandHillLearner(proc, 512, budget=6, seed=2)
+        epoch = learner.run_epoch()
+        assert len(epoch.best_shares) == 4
+
+    def test_checkpoint_roundtrip_through_public_api(self):
+        proc = build(ICountPolicy())
+        checkpoint = Checkpoint(proc)
+        clone = checkpoint.materialize()
+        clone.run(1000)
+        proc.run(1000)
+        assert clone.stats.committed == proc.stats.committed
+
+    def test_metric_switch_changes_learning_signal(self):
+        from repro import AvgIPC, HarmonicMeanWeightedIPC
+
+        for metric in (AvgIPC(), WeightedIPC(), HarmonicMeanWeightedIPC()):
+            policy = HillClimbingPolicy(metric=metric, sample_period=None)
+            proc = build(policy)
+            controller = EpochController(proc, epoch_size=512)
+            controller.run(4)
+            assert sum(controller.totals()[0]) > 0
+
+    def test_four_thread_workload_end_to_end(self):
+        proc = build(HillClimbingPolicy(sample_period=None),
+                     workload_name="art-mcf-swim-twolf")
+        controller = EpochController(proc, epoch_size=1024)
+        controller.run(8)
+        assert len(controller.overall_ipcs()) == 4
+        assert proc.check_invariants()
+
+    def test_long_run_stability(self):
+        """No deadlock, no counter drift, monotone commit over a long run
+        with the most eventful policy (FLUSH on a MEM pair)."""
+        proc = build(FlushPolicy(), workload_name="art-mcf")
+        last = 0
+        for __ in range(10):
+            proc.run(2000)
+            now = sum(proc.stats.committed)
+            assert now > last
+            last = now
+            assert proc.check_invariants()
+
+
+class TestDeterminismEndToEnd:
+    def test_same_seed_same_learning_trajectory(self):
+        def trajectory():
+            policy = HillClimbingPolicy(sample_period=None)
+            proc = build(policy, seed=9)
+            controller = EpochController(proc, epoch_size=512)
+            controller.run(6)
+            return policy.current_anchor, controller.overall_ipcs()
+
+        first = trajectory()
+        second = trajectory()
+        assert first[0] == second[0]
+        assert first[1] == second[1]
+
+    def test_version_exported(self):
+        import repro
+
+        assert repro.__version__

@@ -1,0 +1,157 @@
+"""Behavioural tests of the learning stack: does hill-climbing actually
+climb when the environment has a clear, learnable gradient?
+
+These tests build *synthetic feedback environments* (bypassing the
+simulator) so convergence properties can be asserted deterministically.
+"""
+
+import pytest
+
+from repro.core.controller import EpochResult
+from repro.core.hill_climbing import HillClimbingPolicy
+from repro.core.metrics import AvgIPC
+from repro.pipeline.config import SMTConfig
+from repro.pipeline.processor import SMTProcessor
+from repro.workloads.spec2000 import get_profile
+
+
+def make_policy(num_threads=2, delta=4):
+    policy = HillClimbingPolicy(metric=AvgIPC(), delta=delta,
+                                software_cost=0, sample_period=None)
+    profiles = [get_profile("gzip")] * num_threads
+    proc = SMTProcessor(SMTConfig.fast(), profiles, seed=0, policy=policy,
+                        warm_caches=False)
+    return policy, proc
+
+
+def drive(policy, proc, value_of_shares, epochs):
+    """Feed the policy synthetic per-epoch performance computed from the
+    trial partition it programmed."""
+    for epoch_id in range(epochs):
+        shares = proc.partitions.shares
+        value = value_of_shares(shares)
+        result = EpochResult(
+            epoch_id=epoch_id, kind="normal",
+            committed=[int(1000 * value / len(shares))] * len(shares),
+            cycles=1000,
+            ipcs=[value / len(shares)] * len(shares),
+            shares=list(shares),
+        )
+        policy.on_epoch_end(proc, result)
+
+
+class TestConvergence:
+    def test_climbs_to_an_asymmetric_peak(self):
+        """Peak at shares[0]=96 on a clean quadratic hill: the climber must
+        get most of the way there from the equal split (64)."""
+        policy, proc = make_policy()
+
+        def hill(shares):
+            return 1.0 - ((shares[0] - 96) / 128.0) ** 2
+
+        drive(policy, proc, hill, epochs=40)
+        assert policy.anchor[0] >= 84
+
+    def test_climbs_the_other_way_too(self):
+        policy, proc = make_policy()
+
+        def hill(shares):
+            return 1.0 - ((shares[0] - 24) / 128.0) ** 2
+
+        drive(policy, proc, hill, epochs=40)
+        assert policy.anchor[0] <= 40
+
+    def test_stays_near_a_central_peak(self):
+        policy, proc = make_policy()
+
+        def hill(shares):
+            return 1.0 - ((shares[0] - 64) / 128.0) ** 2
+
+        drive(policy, proc, hill, epochs=40)
+        assert 48 <= policy.anchor[0] <= 80
+
+    def test_four_thread_convergence(self):
+        """Thread 2 is the valuable one; its share must grow."""
+        policy, proc = make_policy(num_threads=4)
+
+        def hill(shares):
+            return shares[2] / 128.0
+
+        drive(policy, proc, hill, epochs=60)
+        assert policy.anchor[2] > 32  # grew past the equal split
+
+    def test_tracks_a_moving_peak(self):
+        """When the peak jumps, the climber re-converges (the TS -> TL
+        dynamics of Figure 12)."""
+        policy, proc = make_policy()
+        state = {"peak": 90}
+
+        def hill(shares):
+            return 1.0 - ((shares[0] - state["peak"]) / 128.0) ** 2
+
+        drive(policy, proc, hill, epochs=30)
+        first = policy.anchor[0]
+        assert first >= 78
+        state["peak"] = 30
+        drive(policy, proc, hill, epochs=40)
+        assert policy.anchor[0] <= 48
+
+    def test_flat_landscape_drifts_by_tiebreak(self):
+        """Figure 8 property: on exact ties, argmax picks the lowest thread
+        index, so a perfectly flat landscape drifts the anchor toward
+        thread 0 at Delta per round until clamped.  (Real landscapes are
+        never exactly flat; jitter breaks the ties — the paper's JL case.)"""
+        policy, proc = make_policy()
+        drive(policy, proc, lambda shares: 1.0, epochs=40)
+        assert policy.anchor[0] == \
+            proc.config.rename_int - proc.config.min_partition
+
+    def test_larger_delta_converges_faster(self):
+        def hill(shares):
+            return 1.0 - ((shares[0] - 104) / 128.0) ** 2
+
+        slow_policy, slow_proc = make_policy(delta=2)
+        drive(slow_policy, slow_proc, hill, epochs=16)
+        fast_policy, fast_proc = make_policy(delta=8)
+        drive(fast_policy, fast_proc, hill, epochs=16)
+        assert fast_policy.anchor[0] >= slow_policy.anchor[0]
+
+
+class TestPhaseHillBehaviour:
+    def test_phase_memory_restores_learned_anchor(self):
+        """After learning phase A's peak, a visit to phase B and back to A
+        must restore A's anchor instantly."""
+        from repro.core.phase_hill import PhaseHillPolicy
+
+        policy = PhaseHillPolicy(metric=AvgIPC(), software_cost=0,
+                                 sample_period=None)
+        profiles = [get_profile("gzip")] * 2
+        proc = SMTProcessor(SMTConfig.fast(), profiles, seed=0,
+                            policy=policy, warm_caches=False)
+
+        class ScriptedTable:
+            def __init__(self):
+                self.script = []
+
+            def classify(self, signature):
+                return self.script.pop(0)
+
+        table = ScriptedTable()
+        policy.phase_table = table
+
+        def hill(shares):
+            return 1.0 - ((shares[0] - 100) / 128.0) ** 2
+
+        # Learn in phase 0 for 30 epochs.
+        table.script = [0] * 30
+        drive(policy, proc, hill, epochs=30)
+        learned = policy.phase_anchor[0][0]
+        assert learned >= 84
+        # One epoch in phase 1 perturbs the live anchor...
+        table.script = [1]
+        drive(policy, proc, lambda shares: 0.5, epochs=1)
+        # ...and returning to phase 0 restores the banked anchor.
+        table.script = [0]
+        drive(policy, proc, hill, epochs=1)
+        assert abs(policy.phase_anchor[0][0] - learned) <= 2 * policy.delta
+        assert policy.phase_reuses >= 1

@@ -1,0 +1,120 @@
+"""Tests for the Section 3.1.1 performance metrics (Equations 1-3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.metrics import (
+    AvgIPC,
+    HarmonicMeanWeightedIPC,
+    PerformanceMetric,
+    WeightedIPC,
+    metric_by_name,
+)
+
+
+class TestAvgIPC:
+    def test_equation_1(self):
+        assert AvgIPC().value([1.0, 2.0, 3.0]) == pytest.approx(6.0)
+
+    def test_ignores_single_ipcs(self):
+        assert AvgIPC().value([1.0, 1.0], [0.5, 2.0]) == pytest.approx(2.0)
+
+    def test_does_not_need_single(self):
+        assert AvgIPC().needs_single_ipc is False
+
+
+class TestWeightedIPC:
+    def test_equation_2(self):
+        # (1.0/2.0 + 0.5/1.0) / 2 = 0.5
+        assert WeightedIPC().value([1.0, 0.5], [2.0, 1.0]) == pytest.approx(0.5)
+
+    def test_perfect_scaling_gives_one(self):
+        assert WeightedIPC().value([2.0, 3.0], [2.0, 3.0]) == pytest.approx(1.0)
+
+    def test_defaults_to_unit_single(self):
+        assert WeightedIPC().value([1.0, 3.0]) == pytest.approx(2.0)
+
+    def test_none_entries_default_to_one(self):
+        assert WeightedIPC().value([1.0, 1.0], [None, 2.0]) == pytest.approx(
+            (1.0 + 0.5) / 2)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedIPC().value([1.0, 1.0], [1.0])
+
+    def test_needs_single(self):
+        assert WeightedIPC().needs_single_ipc is True
+
+
+class TestHarmonicMean:
+    def test_equation_3(self):
+        # 2 / (2/1 + 1/0.5) = 0.5
+        assert HarmonicMeanWeightedIPC().value(
+            [1.0, 0.5], [2.0, 1.0]) == pytest.approx(0.5)
+
+    def test_starved_thread_scores_zero(self):
+        assert HarmonicMeanWeightedIPC().value([0.0, 5.0], [1.0, 1.0]) == 0.0
+
+    def test_fairness_preference(self):
+        """Equal relative progress beats skewed progress with the same
+        weighted-IPC sum (the fairness property of Equation 3)."""
+        balanced = HarmonicMeanWeightedIPC().value([0.5, 0.5], [1.0, 1.0])
+        skewed = HarmonicMeanWeightedIPC().value([0.9, 0.1], [1.0, 1.0])
+        assert WeightedIPC().value([0.5, 0.5], [1.0, 1.0]) == pytest.approx(
+            WeightedIPC().value([0.9, 0.1], [1.0, 1.0]))
+        assert balanced > skewed
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert metric_by_name("avg_ipc").name == "avg_ipc"
+        assert metric_by_name("weighted_ipc").name == "weighted_ipc"
+        assert metric_by_name(
+            "harmonic_weighted_ipc").name == "harmonic_weighted_ipc"
+
+    def test_aliases(self):
+        assert metric_by_name("ipc").name == "avg_ipc"
+        assert metric_by_name("WIPC").name == "weighted_ipc"
+        assert metric_by_name("hwipc").name == "harmonic_weighted_ipc"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            metric_by_name("bogomips")
+
+    def test_base_class_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            PerformanceMetric().value([1.0])
+
+
+positive_ipcs = st.lists(st.floats(0.01, 10.0), min_size=1, max_size=8)
+
+
+@settings(max_examples=100, deadline=None)
+@given(ipcs=positive_ipcs)
+def test_property_harmonic_le_arithmetic_weighted(ipcs):
+    """AM-HM inequality: harmonic mean of weighted IPC never exceeds the
+    average weighted IPC for the same run."""
+    singles = [1.0] * len(ipcs)
+    harmonic = HarmonicMeanWeightedIPC().value(ipcs, singles)
+    weighted = WeightedIPC().value(ipcs, singles)
+    assert harmonic <= weighted + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(ipcs=positive_ipcs, factor=st.floats(0.1, 5.0))
+def test_property_metrics_scale_linearly(ipcs, factor):
+    singles = [1.0] * len(ipcs)
+    for metric in (AvgIPC(), WeightedIPC(), HarmonicMeanWeightedIPC()):
+        base = metric.value(ipcs, singles)
+        scaled = metric.value([ipc * factor for ipc in ipcs], singles)
+        assert scaled == pytest.approx(base * factor, rel=1e-6)
+
+
+@settings(max_examples=100, deadline=None)
+@given(ipcs=positive_ipcs)
+def test_property_monotonic_in_each_thread(ipcs):
+    singles = [1.0] * len(ipcs)
+    improved = list(ipcs)
+    improved[0] *= 2
+    for metric in (AvgIPC(), WeightedIPC(), HarmonicMeanWeightedIPC()):
+        assert metric.value(improved, singles) >= metric.value(ipcs, singles)

@@ -1,0 +1,88 @@
+"""Tests for the 42 Table 3 multiprogrammed workloads."""
+
+import pytest
+
+from repro.workloads.mixes import (
+    GROUPS,
+    WORKLOADS,
+    get_workload,
+    workload_names,
+    workloads_in_group,
+)
+from repro.workloads.spec2000 import PROFILES
+
+
+class TestTable3:
+    def test_42_workloads(self):
+        assert len(WORKLOADS) == 42
+
+    def test_six_groups_of_seven(self):
+        for group in GROUPS:
+            assert len(workloads_in_group(group)) == 7, group
+
+    def test_thread_counts(self):
+        for workload in WORKLOADS.values():
+            expected = 2 if workload.group.endswith("2") else 4
+            assert workload.num_threads == expected, workload.name
+
+    def test_members_are_known_benchmarks(self):
+        for workload in WORKLOADS.values():
+            for benchmark in workload.benchmarks:
+                assert benchmark in PROFILES, (workload.name, benchmark)
+
+    def test_ilp_groups_contain_only_ilp(self):
+        for group in ("ILP2", "ILP4"):
+            for workload in workloads_in_group(group):
+                for profile in workload.profiles:
+                    assert profile.ctype == "ILP", (workload.name, profile.name)
+
+    def test_mem_groups_are_memory_dominated(self):
+        # The paper's own Table 3 places parser (an ILP benchmark) in two
+        # MEM4 workloads, so MEM groups are dominated by — not purely —
+        # memory-intensive members.
+        for group in ("MEM2", "MEM4"):
+            for workload in workloads_in_group(group):
+                mem_count = sum(
+                    1 for profile in workload.profiles if profile.ctype == "MEM"
+                )
+                assert mem_count >= workload.num_threads - 1, workload.name
+        for workload in workloads_in_group("MEM2"):
+            assert all(profile.ctype == "MEM" for profile in workload.profiles)
+
+    def test_mix_groups_contain_both(self):
+        for group in ("MIX2", "MIX4"):
+            for workload in workloads_in_group(group):
+                ctypes = {profile.ctype for profile in workload.profiles}
+                assert ctypes == {"ILP", "MEM"}, workload.name
+
+    def test_paper_rsc_sums_spot_checks(self):
+        # Table 3 lists the summed per-application Rsc values.
+        assert get_workload("apsi-eon").rsc_sum == 209
+        assert get_workload("gzip-vortex").rsc_sum == 185  # 83 + 102
+        assert get_workload("art-mcf").rsc_sum == 273      # 176 + 97
+        assert get_workload("ammp-applu-art-mcf").rsc_sum == 173 + 112 + 176 + 97
+
+    def test_large_flag_uses_thread_count_threshold(self):
+        assert get_workload("art-mcf").is_large          # 273 > 256
+        assert not get_workload("apsi-eon").is_large     # 209 <= 256
+        assert get_workload("ammp-applu-art-mcf").is_large  # 558 > 440
+
+    def test_profiles_in_context_order(self):
+        workload = get_workload("art-mcf")
+        assert [profile.name for profile in workload.profiles] == ["art", "mcf"]
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("quake-doom")
+
+    def test_workload_names_filters_by_group(self):
+        assert len(workload_names()) == 42
+        assert len(workload_names("MEM2")) == 7
+        assert all("-" in name for name in workload_names("ILP4"))
+
+    def test_art_mcf_is_in_mem2(self):
+        assert get_workload("art-mcf").group == "MEM2"
+
+    def test_no_duplicate_workloads(self):
+        names = workload_names()
+        assert len(names) == len(set(names))

@@ -1,0 +1,98 @@
+"""Tests for the OFF-LINE exhaustive learner."""
+
+import pytest
+
+from repro.core.metrics import AvgIPC, WeightedIPC
+from repro.core.offline import OfflineEpoch, OfflineExhaustiveLearner
+from repro.core.partition import grid_size
+from repro.pipeline.config import SMTConfig
+from repro.pipeline.processor import SMTProcessor
+from repro.policies.static_partition import StaticPartitionPolicy
+from repro.workloads.spec2000 import get_profile
+
+
+def make_learner(benchmarks=("art", "gzip"), stride=8, metric=None,
+                 single_ipcs=None, epoch_size=1024, seed=1):
+    profiles = [get_profile(name) for name in benchmarks]
+    proc = SMTProcessor(SMTConfig.tiny(), profiles, seed=seed,
+                        policy=StaticPartitionPolicy())
+    proc.run(2000)
+    return OfflineExhaustiveLearner(
+        proc, epoch_size, metric=metric or AvgIPC(),
+        single_ipcs=single_ipcs, stride=stride,
+    )
+
+
+class TestSearch:
+    def test_curve_covers_the_grid(self):
+        learner = make_learner(stride=8)
+        epoch = learner.run_epoch()
+        config = SMTConfig.tiny()
+        expected = grid_size(2, config.rename_int, config.min_partition, 8)
+        assert len(epoch.curve) == expected
+
+    def test_best_is_curve_argmax(self):
+        learner = make_learner()
+        epoch = learner.run_epoch()
+        best_shares, best_value, __ = max(epoch.curve, key=lambda e: e[1])
+        assert epoch.best_value == best_value
+        assert epoch.best_shares == best_shares
+
+    def test_advances_with_best_partitioning(self):
+        learner = make_learner()
+        epoch = learner.run_epoch()
+        assert learner.proc.partitions.shares == list(epoch.best_shares)
+
+    def test_epoch_ids_increment(self):
+        learner = make_learner()
+        epochs = learner.run(3)
+        assert [epoch.epoch_id for epoch in epochs] == [0, 1, 2]
+
+    def test_committed_epoch_consistent_with_trial(self):
+        """The committed run equals the best trial's execution exactly
+        (checkpoint determinism)."""
+        learner = make_learner()
+        epoch = learner.run_epoch()
+        trial_ipcs = next(
+            ipcs for shares, __, ipcs in epoch.curve
+            if shares == epoch.best_shares
+        )
+        assert epoch.result.ipcs == pytest.approx(trial_ipcs)
+
+    def test_curve_over_first_share_sorted(self):
+        learner = make_learner()
+        epoch = learner.run_epoch()
+        points = epoch.curve_over_first_share()
+        shares = [share for share, __ in points]
+        assert shares == sorted(shares)
+
+    def test_weighted_metric_uses_singles(self):
+        learner = make_learner(metric=WeightedIPC(), single_ipcs=[1.0, 2.0])
+        epoch = learner.run_epoch()
+        assert isinstance(epoch, OfflineEpoch)
+        assert epoch.best_value > 0
+
+    def test_overall_ipcs_only_counts_committed_epochs(self):
+        learner = make_learner()
+        learner.run(2)
+        ipcs = learner.overall_ipcs()
+        committed, cycles = learner.proc.stats.delta_since(
+            learner._start_stats)
+        assert cycles == 2 * 1024  # trials are free
+        assert ipcs == pytest.approx([count / cycles for count in committed])
+
+    def test_offline_never_loses_to_any_fixed_grid_point(self):
+        """Per-epoch exhaustive choice can never lose to any fixed
+        partitioning drawn from the same grid (superset of choices on the
+        same checkpoints)."""
+        learner = make_learner(stride=8)
+        epochs = learner.run(3)
+        grid = [shares for shares, __, __ in epochs[0].curve]
+        offline_total = sum(epoch.best_value for epoch in epochs)
+        for fixed in grid:
+            fixed_total = sum(
+                next(value for shares, value, __ in epoch.curve
+                     if shares == fixed)
+                for epoch in epochs
+            )
+            assert offline_total >= fixed_total - 1e-12

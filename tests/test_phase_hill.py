@@ -1,0 +1,77 @@
+"""Tests for phase-based hill-climbing (Section 5)."""
+
+from repro.core.controller import EpochController
+from repro.core.metrics import AvgIPC
+from repro.core.phase_hill import PhaseHillPolicy
+from repro.pipeline.config import SMTConfig
+from repro.pipeline.processor import SMTProcessor
+from repro.workloads.spec2000 import get_profile
+
+
+def make_proc(policy, benchmarks=("gzip", "mcf"), seed=1):
+    profiles = [get_profile(name) for name in benchmarks]
+    return SMTProcessor(SMTConfig.tiny(), profiles, seed=seed, policy=policy,
+                        phase_period=400)
+
+
+class TestPhaseHill:
+    def test_attach_installs_bbv_collector(self):
+        policy = PhaseHillPolicy(metric=AvgIPC(), sample_period=None)
+        proc = make_proc(policy)
+        assert proc.bbv is not None
+        assert proc.bbv.num_threads == 2
+
+    def test_runs_and_learns_phases(self):
+        policy = PhaseHillPolicy(metric=AvgIPC(), sample_period=None,
+                                 software_cost=0)
+        proc = make_proc(policy)
+        proc.run(1500)
+        controller = EpochController(proc, epoch_size=512)
+        controller.run(10)
+        assert policy.current_phase is not None
+        assert len(policy.phase_anchor) >= 1
+        assert len(policy.phase_table) >= 1
+
+    def test_phase_anchor_stored_per_phase(self):
+        policy = PhaseHillPolicy(metric=AvgIPC(), sample_period=None,
+                                 software_cost=0)
+        proc = make_proc(policy)
+        proc.run(1500)
+        controller = EpochController(proc, epoch_size=512)
+        controller.run(8)
+        for anchor in policy.phase_anchor.values():
+            assert sum(anchor) == proc.config.rename_int
+
+    def test_phase_reuse_restores_anchor(self):
+        policy = PhaseHillPolicy(metric=AvgIPC(), sample_period=None,
+                                 software_cost=0)
+        proc = make_proc(policy)
+        # Manufacture a revisit: classify phase A, then B, then A again.
+        policy.current_phase = 5
+        policy.phase_anchor[7] = [20, 12]
+
+        class FakeTable:
+            def classify(self, signature):
+                return 7
+
+        policy.phase_table = FakeTable()
+        from repro.core.controller import EpochResult
+        result = EpochResult(epoch_id=0, kind="normal", committed=[10, 10],
+                             cycles=100, shares=[16, 16])
+        policy.on_epoch_end(proc, result)
+        assert policy.phase_reuses == 1
+        assert policy.current_phase == 7
+
+    def test_name_distinct_from_plain_hill(self):
+        policy = PhaseHillPolicy()
+        assert policy.name.startswith("PHASE-")
+
+    def test_solo_epoch_passthrough(self):
+        policy = PhaseHillPolicy(metric=AvgIPC(), sample_period=None,
+                                 software_cost=0)
+        proc = make_proc(policy)
+        from repro.core.controller import EpochResult
+        result = EpochResult(epoch_id=0, kind="solo", committed=[50, 0],
+                             cycles=100, solo_thread=0, shares=[16, 16])
+        policy.on_epoch_end(proc, result)  # must not touch phase state
+        assert policy.current_phase is None

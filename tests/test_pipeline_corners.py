@@ -1,0 +1,164 @@
+"""Corner-case tests for the pipeline: structure exhaustion, head-of-line
+behaviour, FP pool pressure, and the squash machinery under stress."""
+
+import pytest
+
+from repro.pipeline.config import SMTConfig
+from repro.pipeline.processor import SMTProcessor
+from repro.policies.icount import ICountPolicy
+from repro.policies.static_partition import StaticPartitionPolicy
+from repro.workloads.generator import Instruction, OpClass
+from repro.workloads.spec2000 import get_profile
+from repro.workloads.profile import BenchmarkProfile, PhaseParams, PhaseVariation
+
+
+def fp_heavy_profile():
+    """A profile that floods the FP issue queue and rename pool."""
+    return BenchmarkProfile(
+        name="fpflood", ctype="ILP", is_fp=True, rsc_hint=100,
+        freq=PhaseVariation.NONE,
+        phase_a=PhaseParams(dep_distance=20.0, serial_frac=0.02),
+        load_frac=0.05, store_frac=0.02, branch_frac=0.02, fp_frac=0.85,
+    )
+
+
+def load_heavy_profile():
+    """A profile that is almost entirely loads (LSQ pressure)."""
+    return BenchmarkProfile(
+        name="ldflood", ctype="MEM", is_fp=False, rsc_hint=100,
+        freq=PhaseVariation.NONE,
+        phase_a=PhaseParams(dep_distance=20.0, serial_frac=0.02,
+                            mem_frac=0.02, l2_frac=0.05),
+        load_frac=0.70, store_frac=0.15, branch_frac=0.02,
+    )
+
+
+class TestStructureExhaustion:
+    def test_fp_pressure_respects_capacity(self):
+        proc = SMTProcessor(SMTConfig.tiny(), [fp_heavy_profile()] * 2,
+                            seed=1, policy=ICountPolicy())
+        for __ in range(20):
+            proc.run(200)
+            assert proc.iq_fp_total <= proc.config.iq_fp_size
+            assert proc.ren_fp_total <= proc.config.rename_fp
+        assert proc.check_invariants()
+        assert sum(proc.stats.committed) > 0
+
+    def test_lsq_pressure_respects_capacity(self):
+        proc = SMTProcessor(SMTConfig.tiny(), [load_heavy_profile()] * 2,
+                            seed=1, policy=ICountPolicy())
+        for __ in range(20):
+            proc.run(200)
+            assert proc.lsq_total <= proc.config.lsq_size
+        assert proc.check_invariants()
+        assert sum(proc.stats.committed) > 0
+
+    def test_one_entry_iq_machine_still_progresses(self):
+        config = SMTConfig.tiny().with_overrides(iq_int_size=2, iq_fp_size=2)
+        proc = SMTProcessor(config, [get_profile("gzip")], seed=1,
+                            policy=ICountPolicy())
+        proc.run(4000)
+        assert proc.stats.committed[0] > 0
+
+    def test_minimal_rob_machine_still_progresses(self):
+        config = SMTConfig.tiny().with_overrides(rob_size=8)
+        proc = SMTProcessor(config, [get_profile("gzip")], seed=1,
+                            policy=ICountPolicy())
+        proc.run(4000)
+        assert proc.stats.committed[0] > 0
+
+
+class TestPartitionCorners:
+    def test_minimum_partition_thread_progresses(self):
+        config = SMTConfig.tiny()
+        shares = [config.min_partition,
+                  config.rename_int - config.min_partition]
+        proc = SMTProcessor(config, [get_profile("art"), get_profile("gzip")],
+                            seed=1, policy=StaticPartitionPolicy(shares))
+        proc.run(8000)
+        assert proc.stats.committed[0] > 0  # starved but alive
+
+    def test_four_way_minimum_partitions(self):
+        config = SMTConfig.tiny()
+        quarter = config.rename_int // 4
+        shares = [quarter] * 4
+        profiles = [get_profile(name)
+                    for name in ("art", "gzip", "mcf", "eon")]
+        proc = SMTProcessor(config, profiles, seed=1,
+                            policy=StaticPartitionPolicy(shares))
+        proc.run(8000)
+        assert all(count > 0 for count in proc.stats.committed)
+        assert proc.check_invariants()
+
+    def test_repartitioning_mid_run_is_safe(self):
+        """Shrinking a partition below current occupancy must not corrupt
+        state — the thread just stops fetching until it drains."""
+        config = SMTConfig.tiny()
+        proc = SMTProcessor(config, [get_profile("art"), get_profile("gzip")],
+                            seed=1, policy=StaticPartitionPolicy())
+        proc.run(2000)
+        proc.partitions.set_shares(
+            [config.min_partition, config.rename_int - config.min_partition])
+        proc.run(2000)
+        assert proc.check_invariants()
+        proc.partitions.set_shares(
+            [config.rename_int - config.min_partition, config.min_partition])
+        proc.run(2000)
+        assert proc.check_invariants()
+
+
+class TestSquashStress:
+    def test_repeated_full_squash(self):
+        proc = SMTProcessor(SMTConfig.tiny(),
+                            [get_profile("crafty"), get_profile("mcf")],
+                            seed=1, policy=ICountPolicy())
+        for __ in range(12):
+            proc.run(300)
+            # Squash everything after each thread's oldest instruction.
+            for thread in proc.threads:
+                if thread.rob:
+                    proc.squash_after(thread.tid, thread.rob[0].seq)
+            assert proc.check_invariants()
+        proc.run(3000)
+        assert sum(proc.stats.committed) > 0
+
+    def test_squash_of_empty_thread_is_safe(self):
+        proc = SMTProcessor(SMTConfig.tiny(), [get_profile("gzip")], seed=1,
+                            policy=ICountPolicy())
+        proc.squash_after(0, 10**9)
+        proc.squash_after(0, 0)
+        proc.run(1000)
+        assert proc.check_invariants()
+
+    def test_refetch_order_preserved_after_squash(self):
+        proc = SMTProcessor(SMTConfig.tiny(),
+                            [get_profile("gzip"), get_profile("eon")],
+                            seed=1, policy=ICountPolicy())
+        proc.run(1500)
+        thread = proc.threads[0]
+        if not thread.rob:
+            proc.run(500)
+        anchor = thread.rob[0].seq
+        proc.squash_after(0, anchor)
+        seqs = [instr.seq for instr in thread.refetch]
+        assert seqs == sorted(seqs)
+        assert all(seq > anchor for seq in seqs)
+
+
+class TestGeneratorEdgeOps:
+    def test_first_instruction_has_no_sources(self):
+        from repro.workloads.generator import SyntheticStream
+
+        stream = SyntheticStream(get_profile("gzip"), 0, seed=1)
+        assert stream.next_instruction().srcs == ()
+
+    def test_instruction_equality_semantics(self):
+        a = Instruction(0, 0, OpClass.IALU, False, (), 0)
+        b = Instruction(0, 0, OpClass.IALU, False, (), 0)
+        assert a is not b  # identity objects, no __eq__ surprises
+
+    def test_ctrl_ops_classified(self):
+        for op in (OpClass.BRANCH, OpClass.CALL, OpClass.RETURN):
+            assert op in OpClass.CTRL_OPS
+        for op in (OpClass.IALU, OpClass.LOAD, OpClass.FADD):
+            assert op not in OpClass.CTRL_OPS

@@ -1,0 +1,297 @@
+"""Tests for the baseline resource-distribution policies."""
+
+import pytest
+
+from repro.pipeline.config import SMTConfig
+from repro.pipeline.processor import SMTProcessor
+from repro.policies.base import ResourcePolicy
+from repro.policies.dcra import DCRAPolicy
+from repro.policies.flush import FlushPolicy
+from repro.policies.icount import ICountPolicy
+from repro.policies.stall import StallPolicy
+from repro.policies.static_partition import StaticPartitionPolicy
+from repro.policies import BASELINE_POLICIES
+from repro.workloads.spec2000 import get_profile
+
+
+def make_proc(policy, benchmarks=("art", "gzip"), seed=1, config=None):
+    profiles = [get_profile(name) for name in benchmarks]
+    return SMTProcessor(config or SMTConfig.tiny(), profiles, seed=seed,
+                        policy=policy)
+
+
+class TestBasePolicy:
+    def test_default_fetch_priority_is_icount(self):
+        proc = make_proc(ICountPolicy())
+        proc.run(1000)
+        threads = proc.threads
+        order = proc.policy.fetch_priority(proc, [0, 1])
+        counts = [threads[tid].icount for tid in order]
+        assert counts == sorted(counts)
+
+    def test_registry_contains_all(self):
+        assert set(BASELINE_POLICIES) == {
+            "ICOUNT", "FPG", "STALL", "FLUSH", "STALL-FLUSH", "DG", "PDG",
+            "DCRA", "STATIC",
+        }
+
+    def test_every_registered_policy_runs(self):
+        for name, factory in BASELINE_POLICIES.items():
+            proc = make_proc(factory(), benchmarks=("art", "gzip"))
+            proc.run(3000)
+            assert sum(proc.stats.committed) > 0, name
+            assert proc.check_invariants(), name
+
+    def test_repr(self):
+        assert "ICOUNT" in repr(ICountPolicy())
+
+
+class TestICount:
+    def test_no_partitioning(self):
+        proc = make_proc(ICountPolicy())
+        assert not proc.partitions.partitioned
+        assert proc.partitions.limit_rob[0] == proc.config.rob_size
+
+    def test_runs(self):
+        proc = make_proc(ICountPolicy())
+        proc.run(4000)
+        assert all(count > 0 for count in proc.stats.committed)
+
+
+class TestFlush:
+    def test_flushes_on_l2_miss(self):
+        proc = make_proc(FlushPolicy(), benchmarks=("art", "mcf"))
+        proc.run(6000)
+        assert sum(proc.stats.flushes) > 0
+
+    def test_locks_then_unlocks(self):
+        proc = make_proc(FlushPolicy(), benchmarks=("art", "gzip"))
+        saw_locked = False
+        for __ in range(60):
+            proc.run(100)
+            if any(thread.policy_locked for thread in proc.threads):
+                saw_locked = True
+        assert saw_locked
+        # locks always clear once misses return
+        proc.policy._waiting.clear()
+        for thread in proc.threads:
+            thread.policy_locked = False
+        proc.run(500)
+        assert proc.check_invariants()
+
+    def test_lock_cycles_counted(self):
+        proc = make_proc(FlushPolicy(), benchmarks=("art", "mcf"))
+        proc.run(8000)
+        assert sum(proc.stats.lock_cycles) > 0
+
+    def test_ilp_workload_rarely_flushes(self):
+        proc = make_proc(FlushPolicy(), benchmarks=("gzip", "eon"))
+        proc.run(4000)
+        assert sum(proc.stats.flushes) <= sum(proc.stats.l2_misses)
+
+    def test_no_deadlock_long_run(self):
+        proc = make_proc(FlushPolicy(), benchmarks=("art", "mcf"))
+        before = 0
+        for __ in range(8):
+            proc.run(2000)
+            now = sum(proc.stats.committed)
+            assert now > before  # forward progress every window
+            before = now
+
+
+class TestStall:
+    def test_locks_without_flushing(self):
+        proc = make_proc(StallPolicy(), benchmarks=("art", "mcf"))
+        proc.run(8000)
+        assert sum(proc.stats.lock_cycles) > 0
+        assert sum(proc.stats.flushes) == 0
+
+    def test_forward_progress(self):
+        proc = make_proc(StallPolicy(), benchmarks=("art", "mcf"))
+        proc.run(6000)
+        assert all(count > 0 for count in proc.stats.committed)
+
+
+class TestDCRA:
+    def test_caps_sum_to_capacity(self):
+        proc = make_proc(DCRAPolicy(update_interval=1))
+        for __ in range(20):
+            proc.run(100)
+            limits = proc.partitions
+            assert sum(limits.limit_int_rename) <= proc.config.rename_int
+            assert sum(limits.limit_rob) <= proc.config.rob_size
+
+    def test_slow_thread_gets_bigger_cap(self):
+        proc = make_proc(DCRAPolicy(update_interval=1),
+                         benchmarks=("art", "gzip"))
+        saw_asymmetry = False
+        for __ in range(80):
+            proc.run(100)
+            limits = proc.partitions.limit_int_rename
+            if limits[0] > limits[1]:
+                saw_asymmetry = True
+                break
+        assert saw_asymmetry  # art (missing) gets the larger partition
+
+    def test_slow_weight_validation(self):
+        with pytest.raises(ValueError):
+            DCRAPolicy(slow_weight=0.5)
+        with pytest.raises(ValueError):
+            DCRAPolicy(update_interval=0)
+
+    def test_update_interval_limits_recompute_rate(self):
+        calls = []
+        policy = DCRAPolicy(update_interval=50)
+        original = policy._recompute
+
+        def counting(proc, classes):
+            calls.append(proc.cycle)
+            return original(proc, classes)
+
+        policy._recompute = counting
+        proc = make_proc(policy, benchmarks=("art", "mcf"))
+        proc.run(500)
+        gaps = [b - a for a, b in zip(calls, calls[1:])]
+        assert all(gap >= 50 for gap in gaps)
+
+    def test_all_fast_equal_caps(self):
+        policy = DCRAPolicy()
+        proc = make_proc(policy, benchmarks=("gzip", "eon"))
+        policy._recompute(proc, (False, False))
+        limits = proc.partitions.limit_int_rename
+        assert limits[0] == limits[1]
+
+
+class TestStaticPartition:
+    def test_equal_by_default(self):
+        proc = make_proc(StaticPartitionPolicy())
+        assert proc.partitions.shares == [16, 16]
+
+    def test_custom_shares(self):
+        proc = make_proc(StaticPartitionPolicy([8, 24]))
+        assert proc.partitions.shares == [8, 24]
+
+    def test_shares_fixed_over_time(self):
+        proc = make_proc(StaticPartitionPolicy([8, 24]))
+        proc.run(4000)
+        assert proc.partitions.shares == [8, 24]
+
+
+class TestFPG:
+    def test_no_partitioning(self):
+        from repro.policies.fpg import FPGPolicy
+
+        proc = make_proc(FPGPolicy())
+        assert not proc.partitions.partitioned
+
+    def test_goodness_tracks_accuracy(self):
+        from repro.policies.fpg import FPGPolicy
+
+        policy = FPGPolicy()
+        # crafty mispredicts much more than gzip; its goodness should fall
+        # behind after a while.
+        proc = make_proc(policy, benchmarks=("crafty", "gzip"))
+        proc.run(8000)
+        assert policy.goodness[1] >= policy.goodness[0] - 0.05
+
+    def test_priority_prefers_good_threads(self):
+        from repro.policies.fpg import FPGPolicy
+
+        policy = FPGPolicy()
+        proc = make_proc(policy)
+        policy.goodness = [0.5, 0.95]
+        assert policy.fetch_priority(proc, [0, 1])[0] == 1
+
+    def test_smoothing_validation(self):
+        from repro.policies.fpg import FPGPolicy
+
+        with pytest.raises(ValueError):
+            FPGPolicy(smoothing=0.0)
+
+
+class TestDGAndPDG:
+    def test_dg_locks_on_outstanding_misses(self):
+        from repro.policies.dg import DGPolicy
+
+        proc = make_proc(DGPolicy(threshold=1), benchmarks=("art", "mcf"))
+        saw_lock = False
+        for __ in range(60):
+            proc.run(100)
+            if any(thread.policy_locked for thread in proc.threads):
+                saw_lock = True
+                break
+        assert saw_lock
+
+    def test_dg_threshold_validation(self):
+        from repro.policies.dg import DGPolicy
+
+        with pytest.raises(ValueError):
+            DGPolicy(threshold=0)
+
+    def test_pdg_trains_predictor(self):
+        from repro.policies.dg import PDGPolicy
+
+        policy = PDGPolicy(table_size=64)
+        proc = make_proc(policy, benchmarks=("art", "mcf"))
+        proc.run(6000)
+        assert any(counter != 1 for counter in policy._tables[0])
+
+    def test_pdg_forward_progress(self):
+        from repro.policies.dg import PDGPolicy
+
+        proc = make_proc(PDGPolicy(), benchmarks=("art", "mcf"))
+        proc.run(6000)
+        assert all(count > 0 for count in proc.stats.committed)
+
+    def test_pdg_validation(self):
+        from repro.policies.dg import PDGPolicy
+
+        with pytest.raises(ValueError):
+            PDGPolicy(table_size=0)
+
+
+class TestStallFlush:
+    def test_flushes_less_than_pure_flush(self):
+        from repro.policies.stall_flush import StallFlushPolicy
+
+        hybrid = make_proc(StallFlushPolicy(), benchmarks=("art", "mcf"))
+        hybrid.run(8000)
+        pure = make_proc(FlushPolicy(), benchmarks=("art", "mcf"))
+        pure.run(8000)
+        assert sum(hybrid.stats.flushes) <= sum(pure.stats.flushes)
+
+    def test_locks_like_stall(self):
+        from repro.policies.stall_flush import StallFlushPolicy
+
+        proc = make_proc(StallFlushPolicy(), benchmarks=("art", "mcf"))
+        proc.run(8000)
+        assert sum(proc.stats.lock_cycles) > 0
+
+    def test_pressure_validation(self):
+        from repro.policies.stall_flush import StallFlushPolicy
+
+        with pytest.raises(ValueError):
+            StallFlushPolicy(pressure=0.0)
+
+    def test_forward_progress(self):
+        from repro.policies.stall_flush import StallFlushPolicy
+
+        proc = make_proc(StallFlushPolicy(), benchmarks=("art", "mcf"))
+        before = 0
+        for __ in range(6):
+            proc.run(2000)
+            now = sum(proc.stats.committed)
+            assert now > before
+            before = now
+
+
+class TestPolicyHooksInterface:
+    def test_base_hooks_are_noops(self):
+        policy = ResourcePolicy()
+        proc = make_proc(ICountPolicy())
+        policy.on_cycle(proc)
+        policy.on_l2_miss_detected(proc, None)
+        policy.on_load_complete(proc, None)
+        policy.on_squash(proc, 0, 0)
+        policy.on_epoch_end(proc, None)
+        assert policy.plan_epoch(proc, 0) is None

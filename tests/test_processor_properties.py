@@ -1,0 +1,90 @@
+"""Property-based tests over the processor's core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.partition import clamp_shares
+from repro.pipeline.config import SMTConfig
+from repro.pipeline.processor import SMTProcessor
+from repro.policies.icount import ICountPolicy
+from repro.policies.static_partition import StaticPartitionPolicy
+from repro.workloads.spec2000 import PROFILES, get_profile
+
+BENCH_NAMES = sorted(PROFILES)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    names=st.lists(st.sampled_from(BENCH_NAMES), min_size=1, max_size=4),
+    seed=st.integers(0, 3),
+    cycles=st.integers(200, 1500),
+)
+def test_property_invariants_hold_for_any_mix(names, seed, cycles):
+    """Occupancy counters stay consistent for any workload mix."""
+    profiles = [get_profile(name) for name in names]
+    proc = SMTProcessor(SMTConfig.tiny(), profiles, seed=seed,
+                        policy=ICountPolicy())
+    proc.run(cycles)
+    assert proc.check_invariants()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    raw=st.lists(st.integers(0, 64), min_size=2, max_size=2),
+    seed=st.integers(0, 3),
+)
+def test_property_partition_limits_never_exceeded(raw, seed):
+    """Whatever legal share vector is programmed, per-thread occupancy of
+    the partitioned structures never exceeds the programmed limit."""
+    config = SMTConfig.tiny()
+    shares = clamp_shares(raw, config.rename_int, config.min_partition)
+    proc = SMTProcessor(config, [get_profile("art"), get_profile("gzip")],
+                        seed=seed, policy=StaticPartitionPolicy(shares))
+    limits = proc.partitions
+    for __ in range(8):
+        proc.run(250)
+        for thread in proc.threads:
+            assert thread.ren_int <= limits.limit_int_rename[thread.tid]
+            assert thread.iq_int <= limits.limit_int_iq[thread.tid]
+            assert len(thread.rob) <= limits.limit_rob[thread.tid]
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 5), split=st.integers(300, 2500))
+def test_property_run_split_is_equivalent(seed, split):
+    """run(a); run(b) commits exactly what run(a+b) commits."""
+    def build():
+        return SMTProcessor(
+            SMTConfig.tiny(),
+            [get_profile("gzip"), get_profile("mcf")],
+            seed=seed, policy=ICountPolicy(),
+        )
+
+    total = 3000
+    one = build()
+    one.run(total)
+    two = build()
+    two.run(split)
+    two.run(total - split)
+    assert one.stats.committed == two.stats.committed
+    assert one.stats.squashed == two.stats.squashed
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 3))
+def test_property_starving_a_thread_never_helps_it(seed):
+    """A thread's own committed count is monotone-ish in its partition:
+    the nearly-starved setting commits no more than the generous one."""
+    config = SMTConfig.tiny()
+
+    def run_with(shares):
+        proc = SMTProcessor(
+            config, [get_profile("art"), get_profile("gzip")], seed=seed,
+            policy=StaticPartitionPolicy(shares))
+        proc.run(4000)
+        return proc.stats.committed[0]
+
+    starved = run_with([config.min_partition,
+                        config.rename_int - config.min_partition])
+    generous = run_with([config.rename_int - config.min_partition,
+                         config.min_partition])
+    assert starved <= generous

@@ -1,0 +1,95 @@
+"""Tests for the Table 2 benchmark profiles."""
+
+import pytest
+
+from repro.workloads.profile import BenchmarkProfile, PhaseParams, PhaseVariation
+from repro.workloads.spec2000 import PROFILES, get_profile, profile_names
+
+PAPER_TABLE2 = {
+    # name: (type is fp, ctype, rsc, freq)
+    "bzip2": (False, "ILP", 72, "No"),
+    "perlbmk": (False, "ILP", 59, "No"),
+    "eon": (False, "ILP", 82, "No"),
+    "vortex": (False, "ILP", 102, "High"),
+    "gzip": (False, "ILP", 83, "High"),
+    "parser": (False, "ILP", 90, "High"),
+    "gap": (False, "ILP", 208, "No"),
+    "crafty": (False, "ILP", 125, "High"),
+    "gcc": (False, "ILP", 112, "High"),
+    "apsi": (True, "ILP", 127, "No"),
+    "fma3d": (True, "ILP", 72, "No"),
+    "wupwise": (True, "ILP", 161, "No"),
+    "mesa": (True, "ILP", 110, "No"),
+    "equake": (True, "MEM", 100, "No"),
+    "vpr": (False, "MEM", 180, "High"),
+    "mcf": (False, "MEM", 97, "Low"),
+    "twolf": (False, "MEM", 184, "High"),
+    "art": (True, "MEM", 176, "No"),
+    "lucas": (True, "MEM", 64, "No"),
+    "ammp": (True, "MEM", 173, "High"),
+    "swim": (True, "MEM", 213, "No"),
+    "applu": (True, "MEM", 112, "No"),
+}
+
+
+class TestTable2Fidelity:
+    def test_all_22_benchmarks_present(self):
+        assert set(PROFILES) == set(PAPER_TABLE2)
+
+    @pytest.mark.parametrize("name", sorted(PAPER_TABLE2))
+    def test_profile_matches_paper_row(self, name):
+        is_fp, ctype, rsc, freq = PAPER_TABLE2[name]
+        profile = get_profile(name)
+        assert profile.is_fp == is_fp
+        assert profile.ctype == ctype
+        assert profile.rsc_hint == rsc
+        assert profile.freq.value == freq
+
+    def test_mem_profiles_access_memory(self):
+        for name, (__, ctype, __, __) in PAPER_TABLE2.items():
+            profile = get_profile(name)
+            if ctype == "MEM":
+                assert profile.phase_a.mem_frac > 0, name
+            else:
+                assert profile.phase_a.mem_frac == 0, name
+
+    def test_high_and_low_freq_have_distinct_phase_b(self):
+        for profile in PROFILES.values():
+            if profile.freq is not PhaseVariation.NONE:
+                assert profile.phase_b != profile.phase_a, profile.name
+
+    def test_rsc_ordering_reflected_in_appetite(self):
+        """Wider-Rsc ILP benchmarks have wider dependence structure."""
+        assert (get_profile("gap").phase_a.dep_distance
+                > get_profile("perlbmk").phase_a.dep_distance)
+        assert (get_profile("wupwise").phase_a.dep_distance
+                > get_profile("fma3d").phase_a.dep_distance)
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError):
+            get_profile("doom3")
+
+    def test_profile_names_order(self):
+        assert len(profile_names()) == 22
+
+
+class TestProfileValidation:
+    def test_bad_ctype_rejected(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile(name="x", ctype="BAD", is_fp=False, rsc_hint=1,
+                             freq=PhaseVariation.NONE, phase_a=PhaseParams())
+
+    def test_phase_b_defaults_to_phase_a(self):
+        profile = BenchmarkProfile(
+            name="x", ctype="ILP", is_fp=False, rsc_hint=1,
+            freq=PhaseVariation.NONE, phase_a=PhaseParams(dep_distance=3.0))
+        assert profile.phase_b == profile.phase_a
+
+    def test_with_overrides(self):
+        profile = get_profile("gzip").with_overrides(branch_sites=8)
+        assert profile.branch_sites == 8
+        assert get_profile("gzip").branch_sites != 8
+
+    def test_has_phases(self):
+        assert get_profile("gzip").has_phases
+        assert not get_profile("bzip2").has_phases

@@ -1,0 +1,59 @@
+"""Tests for the Section 3.3.2 qualitative analysis."""
+
+import pytest
+
+from repro.analysis.qualitative import (
+    WindowUtility,
+    classify_threads,
+    miss_clustering_gain,
+    window_utility,
+)
+from repro.pipeline.config import SMTConfig
+from repro.workloads.spec2000 import get_profile
+
+
+class TestWindowUtilityRecord:
+    def test_gain(self):
+        utility = WindowUtility("x", shallow_ipc=1.0, deep_ipc=2.0,
+                                l2_misses_per_kilo=0.0)
+        assert utility.gain == pytest.approx(2.0)
+
+    def test_gain_zero_shallow(self):
+        utility = WindowUtility("x", 0.0, 2.0, 0.0)
+        assert utility.gain == 1.0
+
+    def test_memory_intensive_threshold(self):
+        assert WindowUtility("x", 1, 1, 10.0).is_memory_intensive
+        assert not WindowUtility("x", 1, 1, 1.0).is_memory_intensive
+
+    def test_low_ilp_compute(self):
+        assert WindowUtility("x", 1.0, 1.1, 1.0).is_low_ilp_compute
+        assert not WindowUtility("x", 1.0, 2.0, 1.0).is_low_ilp_compute
+        assert not WindowUtility("x", 1.0, 1.1, 20.0).is_low_ilp_compute
+
+
+@pytest.mark.slow
+class TestMeasured:
+    def test_bursty_mem_thread_shows_clustering_gain(self):
+        """art's clustered misses reward a deep window."""
+        gain = miss_clustering_gain(get_profile("art"), SMTConfig.tiny(),
+                                    warmup=3000, window=8000)
+        assert gain > 1.15
+
+    def test_ilp_thread_measured(self):
+        utility = window_utility(get_profile("gzip"), SMTConfig.tiny(),
+                                 warmup=3000, window=8000)
+        assert utility.deep_ipc > 0
+        assert utility.l2_misses_per_kilo < 10.0
+
+    def test_classification_buckets(self):
+        profiles = [get_profile(name) for name in ("art", "gzip")]
+        buckets = classify_threads(profiles, SMTConfig.tiny(),
+                                   warmup=3000, window=8000)
+        names = {
+            bucket: [utility.benchmark for utility in utilities]
+            for bucket, utilities in buckets.items()
+        }
+        all_names = sum(names.values(), [])
+        assert sorted(all_names) == ["art", "gzip"]
+        assert "art" in names["clustering"] or "art" in names["other"]

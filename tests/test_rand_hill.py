@@ -1,0 +1,83 @@
+"""Tests for the RAND-HILL multi-start learner."""
+
+import pytest
+
+from repro.core.metrics import AvgIPC
+from repro.core.rand_hill import RandHillLearner
+from repro.pipeline.config import SMTConfig
+from repro.pipeline.processor import SMTProcessor
+from repro.policies.static_partition import StaticPartitionPolicy
+from repro.workloads.spec2000 import get_profile
+
+
+def make_learner(benchmarks=("art", "gzip", "mcf", "eon"), budget=10, seed=1,
+                 epoch_size=512):
+    profiles = [get_profile(name) for name in benchmarks]
+    proc = SMTProcessor(SMTConfig.tiny(), profiles, seed=seed,
+                        policy=StaticPartitionPolicy())
+    proc.run(1500)
+    return RandHillLearner(proc, epoch_size, metric=AvgIPC(), budget=budget,
+                           seed=seed)
+
+
+class TestSearch:
+    def test_budget_respected(self):
+        learner = make_learner(budget=10)
+        epoch = learner.run_epoch()
+        assert epoch.trials <= 10
+
+    def test_best_shares_legal(self):
+        learner = make_learner()
+        epoch = learner.run_epoch()
+        config = SMTConfig.tiny()
+        assert sum(epoch.best_shares) == config.rename_int
+        assert all(share >= config.min_partition
+                   for share in epoch.best_shares)
+
+    def test_advances_with_best(self):
+        learner = make_learner()
+        epoch = learner.run_epoch()
+        assert learner.proc.partitions.shares == list(epoch.best_shares)
+
+    def test_multiple_passes_when_budget_allows(self):
+        learner = make_learner(budget=40)
+        epoch = learner.run_epoch()
+        assert epoch.passes >= 1
+        assert epoch.trials <= 40
+
+    def test_determinism(self):
+        a = make_learner(seed=3).run_epoch()
+        b = make_learner(seed=3).run_epoch()
+        assert a.best_shares == b.best_shares
+        assert a.best_value == pytest.approx(b.best_value)
+
+    def test_two_thread_works_too(self):
+        learner = make_learner(benchmarks=("art", "gzip"), budget=8)
+        epoch = learner.run_epoch()
+        assert len(epoch.best_shares) == 2
+
+    def test_epochs_accumulate(self):
+        learner = make_learner(budget=6)
+        learner.run(2)
+        assert len(learner.epochs) == 2
+        assert learner.epochs[1].epoch_id == 1
+
+    def test_overall_ipcs(self):
+        learner = make_learner(budget=6)
+        learner.run(2)
+        assert all(ipc >= 0 for ipc in learner.overall_ipcs())
+        assert sum(learner.overall_ipcs()) > 0
+
+    def test_budget_validation(self):
+        profiles = [get_profile("gzip")]
+        proc = SMTProcessor(SMTConfig.tiny(), profiles,
+                            policy=StaticPartitionPolicy())
+        with pytest.raises(ValueError):
+            RandHillLearner(proc, 512, budget=0)
+
+    def test_best_value_is_max_of_evaluations(self):
+        """Tracked best is monotone: re-running with a larger budget can
+        only improve (same seed prefix of random anchors)."""
+        small = make_learner(budget=4, seed=9).run_epoch()
+        large = make_learner(budget=16, seed=9).run_epoch()
+        assert large.best_value >= small.best_value - 1e-12

@@ -1,0 +1,67 @@
+"""Tests for the ASCII report helpers."""
+
+import pytest
+
+from repro.experiments.report import (
+    format_series,
+    format_table,
+    geomean,
+    mean,
+    pct_gain,
+    summarize_gains,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["longer", 2.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4  # header, separator, 2 rows
+        assert len(set(len(line.rstrip()) for line in lines[2:])) >= 1
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[1.23456]], float_digits=2)
+        assert "1.23" in text
+        assert "1.2345" not in text
+
+    def test_non_float_cells(self):
+        text = format_table(["a", "b"], [[1, "text"]])
+        assert "text" in text
+
+
+class TestFormatSeries:
+    def test_renders_all_series(self):
+        text = format_series({"A": [1, 2, 3], "B": [3, 2, 1]})
+        assert "A" in text and "B" in text
+        assert text.count("|") == 4
+
+    def test_empty(self):
+        assert "empty" in format_series({})
+
+    def test_constant_series_no_crash(self):
+        assert "|" in format_series({"A": [1.0, 1.0]})
+
+
+class TestMath:
+    def test_pct_gain(self):
+        assert pct_gain(1.1, 1.0) == pytest.approx(10.0)
+        assert pct_gain(0.9, 1.0) == pytest.approx(-10.0)
+        assert pct_gain(1.0, 0.0) == 0.0
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([]) == 0.0
+        assert geomean([-1.0, 0.0]) == 0.0
+
+    def test_mean(self):
+        assert mean([1, 2, 3]) == pytest.approx(2.0)
+        assert mean([]) == 0.0
+
+    def test_summarize_gains(self):
+        results = {
+            "w1": {"HILL": 1.2, "ICOUNT": 1.0},
+            "w2": {"HILL": 1.1, "ICOUNT": 1.0},
+        }
+        gains = summarize_gains(results, "HILL", ("ICOUNT",))
+        assert gains["ICOUNT"] == pytest.approx(15.0)

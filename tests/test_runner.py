@@ -1,0 +1,155 @@
+"""Tests for the experiment runner machinery."""
+
+import pytest
+
+from repro.core.metrics import AvgIPC, WeightedIPC
+from repro.experiments.runner import (
+    ExperimentScale,
+    baseline_factories,
+    clear_solo_cache,
+    compare_policies,
+    make_processor,
+    run_policy,
+    run_policy_multi,
+    select_workloads,
+    solo_ipc,
+    solo_ipcs,
+)
+from repro.policies.icount import ICountPolicy
+from repro.policies.static_partition import StaticPartitionPolicy
+from repro.workloads.mixes import get_workload
+from repro.workloads.spec2000 import get_profile
+
+
+@pytest.fixture
+def scale():
+    return ExperimentScale.smoke()
+
+
+class TestScale:
+    def test_presets_build(self):
+        for preset in (ExperimentScale.smoke(), ExperimentScale.bench(),
+                       ExperimentScale.full()):
+            assert preset.epoch_size > 0
+            assert preset.epochs > 0
+
+    def test_with_overrides(self, scale):
+        assert scale.with_overrides(epochs=3).epochs == 3
+
+    def test_hill_software_cost_scales(self):
+        full = ExperimentScale.full()
+        assert full.hill_software_cost == 200
+        bench = ExperimentScale.bench()
+        assert 1 <= bench.hill_software_cost < 200
+
+    def test_hill_sample_period_is_papers(self):
+        assert ExperimentScale.full().hill_sample_period == 40
+        assert ExperimentScale.bench().hill_sample_period == 40
+        assert ExperimentScale.smoke().hill_sample_period == 40
+
+
+class TestSoloIPC:
+    def test_cached(self, scale):
+        clear_solo_cache()
+        first = solo_ipc(get_profile("gzip"), scale)
+        second = solo_ipc(get_profile("gzip"), scale)
+        assert first == second
+        assert first > 0
+
+    def test_per_workload_vector(self, scale):
+        workload = get_workload("art-mcf")
+        singles = solo_ipcs(workload, scale)
+        assert len(singles) == 2
+        assert all(value > 0 for value in singles)
+
+    def test_ilp_faster_than_mem(self, scale):
+        assert solo_ipc(get_profile("gzip"), scale) > \
+            solo_ipc(get_profile("mcf"), scale)
+
+
+class TestRunPolicy:
+    def test_result_shape(self, scale):
+        workload = get_workload("art-mcf")
+        result = run_policy(workload, ICountPolicy(), scale)
+        assert result.workload == "art-mcf"
+        assert result.policy == "ICOUNT"
+        assert len(result.ipcs) == 2
+        assert result.cycles >= scale.epochs * scale.epoch_size
+        assert len(result.epoch_history) == scale.epochs
+        assert len(result.single_ipcs) == 2
+
+    def test_metric_properties(self, scale):
+        result = run_policy(get_workload("art-mcf"), ICountPolicy(), scale)
+        assert result.avg_ipc == pytest.approx(sum(result.ipcs))
+        assert result.weighted_ipc > 0
+        assert result.harmonic_weighted_ipc >= 0
+        assert result.metric_value(AvgIPC()) == pytest.approx(result.avg_ipc)
+        assert result.metric_value(WeightedIPC()) == pytest.approx(
+            result.weighted_ipc)
+
+    def test_epochs_override(self, scale):
+        result = run_policy(get_workload("art-mcf"), ICountPolicy(), scale,
+                            epochs=2)
+        assert len(result.epoch_history) == 2
+
+    def test_compare_policies_runs_each(self, scale):
+        results = compare_policies(
+            get_workload("art-mcf"),
+            {"ICOUNT": ICountPolicy, "STATIC": StaticPartitionPolicy},
+            scale,
+        )
+        assert set(results) == {"ICOUNT", "STATIC"}
+
+    def test_deterministic(self, scale):
+        a = run_policy(get_workload("art-mcf"), ICountPolicy(), scale)
+        b = run_policy(get_workload("art-mcf"), ICountPolicy(), scale)
+        assert a.ipcs == b.ipcs
+
+
+class TestMultiSeed:
+    def test_summary_shape(self, scale):
+        results, summary = run_policy_multi(
+            get_workload("art-mcf"), ICountPolicy, scale, seeds=(0, 1),
+            epochs=2)
+        assert len(results) == 2
+        assert set(summary) == {"avg_ipc", "weighted_ipc",
+                                "harmonic_weighted_ipc"}
+        mean, spread = summary["avg_ipc"]
+        assert mean > 0
+        assert spread >= 0
+
+    def test_seeds_actually_vary(self, scale):
+        results, __ = run_policy_multi(
+            get_workload("art-mcf"), ICountPolicy, scale, seeds=(0, 1),
+            epochs=2)
+        assert results[0].ipcs != results[1].ipcs
+
+    def test_single_seed_zero_spread(self, scale):
+        __, summary = run_policy_multi(
+            get_workload("art-mcf"), ICountPolicy, scale, seeds=(0,),
+            epochs=2)
+        assert summary["avg_ipc"][1] == 0.0
+
+
+class TestSelection:
+    def test_select_workloads_subsets(self, scale):
+        selected = select_workloads(("ILP2", "MEM2"), scale)
+        assert len(selected) == 2 * scale.workloads_per_group
+
+    def test_select_all_when_unlimited(self, scale):
+        unlimited = scale.with_overrides(workloads_per_group=None)
+        assert len(select_workloads(("ILP2",), unlimited)) == 7
+
+    def test_baseline_factories(self):
+        factories = baseline_factories()
+        assert set(factories) == {"ICOUNT", "FLUSH", "DCRA"}
+        for factory in factories.values():
+            policy = factory()
+            assert hasattr(policy, "fetch_priority")
+
+    def test_make_processor_warm(self, scale):
+        proc = make_processor(get_workload("art-mcf"), ICountPolicy(), scale)
+        assert proc.cycle == scale.warmup
+        cold = make_processor(get_workload("art-mcf"), ICountPolicy(), scale,
+                              warm=False)
+        assert cold.cycle == 0

@@ -1,0 +1,58 @@
+"""Tests for the SMT statistics record."""
+
+import pytest
+
+from repro.pipeline.stats import SMTStats
+
+
+class TestStats:
+    def test_initial_zeroes(self):
+        stats = SMTStats(3)
+        assert stats.committed == [0, 0, 0]
+        assert stats.cycles == 0
+        assert stats.total_committed() == 0
+
+    def test_ipc(self):
+        stats = SMTStats(2)
+        stats.committed = [100, 50]
+        stats.cycles = 100
+        assert stats.ipc() == pytest.approx(1.5)
+        assert stats.ipc(0) == pytest.approx(1.0)
+        assert stats.ipc(1) == pytest.approx(0.5)
+
+    def test_ipc_zero_cycles(self):
+        assert SMTStats(1).ipc() == 0.0
+
+    def test_copy_is_deep(self):
+        stats = SMTStats(2)
+        stats.committed[0] = 5
+        clone = stats.copy()
+        clone.committed[0] = 99
+        assert stats.committed[0] == 5
+
+    def test_copy_preserves_all_fields(self):
+        stats = SMTStats(2)
+        stats.committed = [1, 2]
+        stats.squashed = [3, 4]
+        stats.mispredicts = [5, 6]
+        stats.l2_misses = [7, 8]
+        stats.flushes = [9, 10]
+        stats.cycles = 11
+        clone = stats.copy()
+        assert clone.committed == [1, 2]
+        assert clone.squashed == [3, 4]
+        assert clone.mispredicts == [5, 6]
+        assert clone.l2_misses == [7, 8]
+        assert clone.flushes == [9, 10]
+        assert clone.cycles == 11
+
+    def test_delta_since(self):
+        earlier = SMTStats(2)
+        earlier.committed = [10, 20]
+        earlier.cycles = 100
+        later = earlier.copy()
+        later.committed = [15, 30]
+        later.cycles = 150
+        committed, cycles = later.delta_since(earlier)
+        assert committed == [5, 10]
+        assert cycles == 50

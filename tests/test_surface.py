@@ -1,0 +1,63 @@
+"""Tests for the Figure 2 distribution surface."""
+
+import pytest
+
+from repro.analysis.surface import distribution_surface
+from repro.pipeline.config import SMTConfig
+from repro.pipeline.processor import SMTProcessor
+from repro.policies.static_partition import StaticPartitionPolicy
+from repro.workloads.spec2000 import get_profile
+
+
+def make_3thread_proc():
+    profiles = [get_profile(name) for name in ("mesa", "vortex", "fma3d")]
+    proc = SMTProcessor(SMTConfig.tiny(), profiles, seed=1,
+                        policy=StaticPartitionPolicy())
+    proc.run(2000)
+    return proc
+
+
+class TestSurface:
+    def test_requires_three_threads(self):
+        profiles = [get_profile("gzip"), get_profile("eon")]
+        proc = SMTProcessor(SMTConfig.tiny(), profiles,
+                            policy=StaticPartitionPolicy())
+        with pytest.raises(ValueError):
+            distribution_surface(proc, 256)
+
+    def test_surface_feasible_points_only(self):
+        proc = make_3thread_proc()
+        surface = distribution_surface(proc, 512, step=8)
+        total = proc.config.rename_int
+        minimum = proc.config.min_partition
+        for (share0, share1) in surface.ipc:
+            assert share0 + share1 <= total - minimum
+
+    def test_peak_is_argmax(self):
+        proc = make_3thread_proc()
+        surface = distribution_surface(proc, 512, step=8)
+        assert surface.peak_ipc == max(surface.ipc.values())
+        share0, share1, share2 = surface.peak_shares
+        assert surface.ipc[(share0, share1)] == surface.peak_ipc
+        assert share0 + share1 + share2 == proc.config.rename_int
+
+    def test_source_machine_untouched(self):
+        proc = make_3thread_proc()
+        cycle = proc.cycle
+        distribution_surface(proc, 256, step=16)
+        assert proc.cycle == cycle
+
+    def test_rows_view(self):
+        proc = make_3thread_proc()
+        surface = distribution_surface(proc, 256, step=16)
+        rows = surface.rows()
+        assert rows
+        for share0, row in rows:
+            assert share0 in surface.share_axis
+            for share1, value in row:
+                assert surface.ipc[(share0, share1)] == value
+
+    def test_deterministic(self):
+        a = distribution_surface(make_3thread_proc(), 256, step=16)
+        b = distribution_surface(make_3thread_proc(), 256, step=16)
+        assert a.ipc == b.ipc

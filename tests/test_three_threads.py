@@ -1,0 +1,73 @@
+"""Three-hardware-context coverage (the Figure 2 configuration): odd
+thread counts must work across the whole stack."""
+
+import pytest
+
+from repro.core.controller import EpochController
+from repro.core.hill_climbing import HillClimbingPolicy
+from repro.core.metrics import AvgIPC
+from repro.core.offline import OfflineExhaustiveLearner
+from repro.pipeline.config import SMTConfig
+from repro.pipeline.processor import SMTProcessor
+from repro.pipeline.resources import equal_shares
+from repro.policies.dcra import DCRAPolicy
+from repro.policies.static_partition import StaticPartitionPolicy
+from repro.workloads.spec2000 import get_profile
+
+TRIO = ("mesa", "vortex", "fma3d")  # the paper's Figure 2 threads
+
+
+def make_proc(policy, seed=1):
+    profiles = [get_profile(name) for name in TRIO]
+    return SMTProcessor(SMTConfig.tiny(), profiles, seed=seed, policy=policy)
+
+
+class TestThreeThreads:
+    def test_equal_shares_conserve_total(self):
+        shares = equal_shares(SMTConfig.tiny(), 3)
+        assert sum(shares) == SMTConfig.tiny().rename_int
+        assert max(shares) - min(shares) <= 1
+
+    def test_static_partition_runs(self):
+        proc = make_proc(StaticPartitionPolicy())
+        proc.run(6000)
+        assert all(count > 0 for count in proc.stats.committed)
+        assert proc.check_invariants()
+
+    def test_hill_climbing_runs(self):
+        policy = HillClimbingPolicy(metric=AvgIPC(), sample_period=None,
+                                    software_cost=0)
+        proc = make_proc(policy)
+        controller = EpochController(proc, epoch_size=512)
+        controller.run(9)  # three full rounds
+        assert sum(policy.anchor) == proc.config.rename_int
+        assert len(policy.anchor) == 3
+
+    def test_hill_trials_rotate_all_three(self):
+        policy = HillClimbingPolicy(metric=AvgIPC(), sample_period=None,
+                                    software_cost=0)
+        proc = make_proc(policy)
+        controller = EpochController(proc, epoch_size=256)
+        favored = []
+        for __ in range(6):
+            shares = proc.partitions.shares
+            favored.append(max(range(3), key=lambda tid: shares[tid]))
+            controller.run_epoch()
+        assert set(favored[:3]) == {0, 1, 2}
+
+    def test_offline_grid_covers_three_dims(self):
+        proc = make_proc(StaticPartitionPolicy())
+        proc.run(1500)
+        learner = OfflineExhaustiveLearner(proc, 512, metric=AvgIPC(),
+                                           stride=8)
+        epoch = learner.run_epoch()
+        assert all(len(shares) == 3 for shares, __, __ in epoch.curve)
+        assert sum(epoch.best_shares) == proc.config.rename_int
+
+    def test_dcra_three_way_caps(self):
+        proc = make_proc(DCRAPolicy(update_interval=1))
+        proc.run(3000)
+        limits = proc.partitions.limit_int_rename
+        assert len(limits) == 3
+        assert sum(limits) <= proc.config.rename_int
+        assert proc.check_invariants()

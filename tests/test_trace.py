@@ -1,0 +1,92 @@
+"""Tests for the pipeline tracer."""
+
+import pytest
+
+from repro.pipeline.config import SMTConfig
+from repro.pipeline.processor import SMTProcessor
+from repro.pipeline.trace import (
+    COMMIT,
+    COMPLETE,
+    DISPATCH,
+    FETCH,
+    ISSUE,
+    PipelineTracer,
+    TraceRecord,
+)
+from repro.policies.icount import ICountPolicy
+from repro.workloads.spec2000 import get_profile
+
+
+def traced_proc(benchmarks=("gzip", "eon"), capacity=4096, threads=None):
+    profiles = [get_profile(name) for name in benchmarks]
+    proc = SMTProcessor(SMTConfig.tiny(), profiles, seed=1,
+                        policy=ICountPolicy())
+    proc.trace = PipelineTracer(capacity=capacity, threads=threads)
+    return proc
+
+
+class TestTracer:
+    def test_records_stage_progression(self):
+        proc = traced_proc()
+        proc.run(2000)
+        committed = [record for record in proc.trace.records()
+                     if COMMIT in record.stamps]
+        assert committed
+        for record in committed:
+            stamps = record.stamps
+            assert stamps[FETCH] <= stamps[DISPATCH]
+            assert stamps[DISPATCH] < stamps[ISSUE]
+            assert stamps[ISSUE] <= stamps[COMPLETE]
+            assert stamps[COMPLETE] <= stamps[COMMIT]
+
+    def test_capacity_bounded(self):
+        proc = traced_proc(capacity=64)
+        proc.run(3000)
+        assert len(proc.trace.records()) <= 64
+
+    def test_thread_filter(self):
+        proc = traced_proc(threads={1})
+        proc.run(2000)
+        records = proc.trace.records()
+        assert records
+        assert all(record.thread == 1 for record in records)
+
+    def test_squash_events_recorded(self):
+        proc = traced_proc(benchmarks=("crafty", "mcf"))
+        proc.run(5000)
+        assert proc.trace.squash_events
+
+    def test_render(self):
+        proc = traced_proc()
+        proc.run(500)
+        text = proc.trace.render(max_rows=8)
+        assert "|" in text
+        assert "t0" in text or "t1" in text
+
+    def test_render_empty(self):
+        assert "empty" in PipelineTracer().render()
+
+    def test_average_latency_positive(self):
+        proc = traced_proc()
+        proc.run(2000)
+        assert proc.trace.average_latency() > 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PipelineTracer(capacity=0)
+
+    def test_tracing_does_not_change_execution(self):
+        traced = traced_proc()
+        traced.run(2000)
+        plain_profiles = [get_profile(name) for name in ("gzip", "eon")]
+        plain = SMTProcessor(SMTConfig.tiny(), plain_profiles, seed=1,
+                             policy=ICountPolicy())
+        plain.run(2000)
+        assert traced.stats.committed == plain.stats.committed
+
+    def test_record_lifetime(self):
+        record = TraceRecord(0, 1, "IALU")
+        assert record.complete_lifetime is None
+        record.note(FETCH, 5)
+        record.note(COMMIT, 20)
+        assert record.complete_lifetime == (5, 20)

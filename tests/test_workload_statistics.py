@@ -1,0 +1,121 @@
+"""Statistical verification of the synthetic streams: the realized event
+rates must match the profile parameters they claim to implement (this is
+the evidence behind the DESIGN.md substitution argument)."""
+
+import statistics
+
+import pytest
+
+from repro.workloads.generator import OpClass, SyntheticStream
+from repro.workloads.spec2000 import PROFILES, get_profile
+
+SAMPLE = 30000
+
+
+def stream_events(name, count=SAMPLE, seed=1):
+    stream = SyntheticStream(get_profile(name), 0, seed=seed)
+    return [stream.next_instruction() for __ in range(count)]
+
+
+def far_positions(instructions):
+    return [
+        index for index, instr in enumerate(instructions)
+        if instr.op == OpClass.LOAD and (instr.addr & 0x2000_0000)
+    ]
+
+
+class TestEventRates:
+    @pytest.mark.parametrize("name", ["gzip", "eon", "apsi"])
+    def test_ilp_mix_matches_profile(self, name):
+        profile = get_profile(name)
+        instructions = stream_events(name)
+        loads = sum(1 for instr in instructions if instr.op == OpClass.LOAD)
+        stores = sum(1 for instr in instructions if instr.op == OpClass.STORE)
+        assert loads / len(instructions) == pytest.approx(
+            profile.load_frac, abs=0.02)
+        assert stores / len(instructions) == pytest.approx(
+            profile.store_frac, abs=0.02)
+
+    @pytest.mark.parametrize("name", ["art", "swim", "mcf"])
+    def test_far_miss_rate_scales_with_mem_frac_and_burst(self, name):
+        """One far group = 1 trigger + ``burst`` members, every
+        (1/mem_frac idle + burst*gap in-burst) data accesses; loads are
+        load_frac/(load_frac+store_frac) of those accesses."""
+        profile = get_profile(name)
+        instructions = stream_events(name)
+        far = len(far_positions(instructions))
+        accesses = sum(1 for instr in instructions if instr.is_mem)
+        params = profile.phase_a
+        group_period = 1.0 / params.mem_frac + params.miss_burst * params.burst_gap
+        far_per_access = (1 + params.miss_burst) / group_period
+        load_share = profile.load_frac / (profile.load_frac + profile.store_frac)
+        expected = far_per_access * load_share * accesses
+        assert far == pytest.approx(expected, rel=0.25)
+
+    def test_lucas_has_no_bursts(self):
+        instructions = stream_events("lucas")
+        positions = far_positions(instructions)
+        gaps = [b - a for a, b in zip(positions, positions[1:])]
+        # Without bursts, far misses are debt-scheduled and roughly evenly
+        # spaced at 1/(mem_frac * access_rate).
+        assert statistics.median(gaps) > 15
+
+    def test_burst_spacing_matches_gap(self):
+        """art's in-burst far misses are ~burst_gap data accesses apart."""
+        profile = get_profile("art")
+        instructions = stream_events("art")
+        positions = far_positions(instructions)
+        gaps = [b - a for a, b in zip(positions, positions[1:])]
+        in_burst = [gap for gap in gaps if gap < 3 * profile.phase_a.burst_gap]
+        assert in_burst, "expected burst-internal gaps"
+        expected_instr_gap = profile.phase_a.burst_gap / (
+            profile.load_frac + profile.store_frac)
+        assert statistics.median(in_burst) == pytest.approx(
+            expected_instr_gap, rel=0.5)
+
+    def test_branch_taken_rate_is_mixed(self):
+        instructions = stream_events("gzip")
+        branches = [instr for instr in instructions
+                    if instr.op == OpClass.BRANCH]
+        taken = sum(1 for instr in branches if instr.taken)
+        rate = taken / len(branches)
+        assert 0.2 < rate < 0.8  # biased sites split both ways
+
+    @pytest.mark.parametrize("name", sorted(PROFILES))
+    def test_every_profile_rates_are_sane(self, name):
+        instructions = stream_events(name, count=8000)
+        ops = {}
+        for instr in instructions:
+            ops[instr.op] = ops.get(instr.op, 0) + 1
+        assert ops.get(OpClass.IALU, 0) > 0
+        assert ops.get(OpClass.LOAD, 0) > 0
+        assert ops.get(OpClass.BRANCH, 0) > 0
+        profile = get_profile(name)
+        if profile.is_fp:
+            assert ops.get(OpClass.FADD, 0) + ops.get(OpClass.FMUL, 0) > 0
+
+
+class TestDependenceStructure:
+    def test_mean_dependence_distance_tracks_profile(self):
+        """gap (dep 26) has much longer producer distances than mcf (dep 8
+        with heavy serial chaining)."""
+
+        def mean_distance(name):
+            distances = []
+            for instr in stream_events(name, count=15000):
+                for src in instr.srcs:
+                    distances.append(instr.seq - src)
+            return statistics.mean(distances)
+
+        assert mean_distance("gap") > 2 * mean_distance("mcf")
+
+    def test_serial_fraction_visible(self):
+        """mcf's serial chains: many distance-1 dependences."""
+        chains = 0
+        total = 0
+        for instr in stream_events("mcf", count=15000):
+            if instr.srcs:
+                total += 1
+                if instr.seq - instr.srcs[0] == 1:
+                    chains += 1
+        assert chains / total > 0.15
