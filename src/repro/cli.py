@@ -15,9 +15,21 @@ Commands
     Stand-alone IPC of a single benchmark (the SingleIPC measurement).
 ``surface``
     The Figure 2 three-thread distribution surface.
+``verify``
+    Reliability suite: clean-run pipeline invariants (including
+    checkpoint-fidelity replays) plus the fault-injection matrix.
+    Exits non-zero on any violation or unhandled failure.
 
 All simulation commands accept ``--scale smoke|bench|full`` plus explicit
-``--epochs`` / ``--epoch-size`` / ``--seed`` overrides.
+``--epochs`` / ``--epoch-size`` / ``--seed`` overrides.  ``run`` and
+``compare`` additionally accept ``--resilient`` / ``--resume-dir DIR``:
+runs then execute under the reliability guard (watchdog, partition
+sanitizing, retry-from-checkpoint) with crash-safe on-disk state, and
+re-invoking the same command with the same ``--resume-dir`` after an
+interruption completes the sweep with identical metrics.
+
+Unknown workload, benchmark, or policy names print a one-line error with
+the valid choices and exit with status 2.
 """
 
 import argparse
@@ -44,6 +56,30 @@ _SCALES = {
 }
 
 
+def _fail(message):
+    """One-line usage error: print to stderr, exit with status 2."""
+    print("error: %s" % message, file=sys.stderr)
+    raise SystemExit(2)
+
+
+def _get_workload_checked(name):
+    try:
+        return get_workload(name)
+    except KeyError:
+        _fail("unknown workload %r (valid: %s)"
+              % (name, ", ".join(sorted(workload_names()))))
+
+
+def _get_profile_checked(name):
+    from repro.workloads.spec2000 import profile_names
+
+    try:
+        return get_profile(name)
+    except KeyError:
+        _fail("unknown benchmark %r (valid: %s)"
+              % (name, ", ".join(sorted(profile_names()))))
+
+
 def _policy_factory(name, scale):
     """Resolve a policy name (baselines + HILL[-metric] + PHASE-HILL)."""
     upper = name.upper()
@@ -60,10 +96,8 @@ def _policy_factory(name, scale):
         return lambda: cls(metric=metric_by_name(metric_name),
                            software_cost=scale.hill_software_cost,
                            sample_period=scale.hill_sample_period)
-    raise SystemExit(
-        "unknown policy %r (known: %s, HILL[-IPC|-WIPC|-HWIPC], PHASE-HILL)"
-        % (name, ", ".join(sorted(BASELINE_POLICIES)))
-    )
+    _fail("unknown policy %r (valid: %s, HILL[-IPC|-WIPC|-HWIPC], "
+          "PHASE-HILL)" % (name, ", ".join(sorted(BASELINE_POLICIES))))
 
 
 def _scale_from(args):
@@ -83,6 +117,16 @@ def _add_scale_args(parser):
     parser.add_argument("--epochs", type=int, default=None)
     parser.add_argument("--epoch-size", type=int, default=None)
     parser.add_argument("--seed", type=int, default=None)
+
+
+def _add_resilience_args(parser):
+    parser.add_argument("--resilient", action="store_true",
+                        help="run under the reliability guard (watchdog, "
+                             "partition sanitizing, retry-from-checkpoint)")
+    parser.add_argument("--resume-dir", default=None, metavar="DIR",
+                        help="crash-safe run state directory; re-invoking "
+                             "with the same DIR resumes an interrupted "
+                             "sweep (implies --resilient)")
 
 
 def cmd_list_workloads(args):
@@ -120,23 +164,61 @@ def _report_result(result):
     ))
 
 
+def _resilient_requested(args):
+    return args.resilient or args.resume_dir is not None
+
+
+def _report_reliability(result):
+    report = result.reliability or {}
+    notes = []
+    if report.get("resumed_from") is not None:
+        notes.append("resumed from epoch %d" % report["resumed_from"])
+    if report.get("retries"):
+        notes.append("%d retries" % report["retries"])
+    if report.get("partition_repairs"):
+        notes.append("%d partition repairs" % report["partition_repairs"])
+    faults = sum(report.get("faults_injected", {}).values())
+    if faults:
+        notes.append("%d faults injected" % faults)
+    if notes:
+        print("[resilient] " + ", ".join(notes))
+
+
 def cmd_run(args):
     scale = _scale_from(args)
-    workload = get_workload(args.workload)
+    workload = _get_workload_checked(args.workload)
     policy = _policy_factory(args.policy, scale)()
     print("running %s under %s (%d epochs x %d cycles)..."
           % (workload.name, policy.name, scale.epochs, scale.epoch_size))
-    result = run_policy(workload, policy, scale)
+    if _resilient_requested(args):
+        from repro.reliability.guard import run_policy_resilient, run_slug
+
+        run_dir = None
+        if args.resume_dir is not None:
+            import os
+
+            run_dir = os.path.join(
+                args.resume_dir,
+                run_slug(workload.name, policy.name, scale.seed))
+        result = run_policy_resilient(workload, policy, scale,
+                                      run_dir=run_dir, resume=True,
+                                      log=lambda msg: print("[resilient] %s"
+                                                            % msg))
+        _report_reliability(result)
+    else:
+        result = run_policy(workload, policy, scale)
     _report_result(result)
 
 
 def cmd_compare(args):
     scale = _scale_from(args)
-    workload = get_workload(args.workload)
+    workload = _get_workload_checked(args.workload)
     factories = {
         name: _policy_factory(name, scale) for name in args.policies
     }
     print("comparing %s on %s..." % (", ".join(factories), workload.name))
+    if _resilient_requested(args):
+        return _compare_resilient(args, scale, workload, factories)
     if len(args.seeds) > 1:
         from repro.experiments.runner import run_policy_multi
 
@@ -163,11 +245,74 @@ def cmd_compare(args):
     ))
 
 
+def _compare_resilient(args, scale, workload, factories):
+    """``compare --resilient``: one resumable run directory per
+    (workload, policy, seed); killed sweeps continue where they died."""
+    import statistics
+    import tempfile
+
+    from repro.reliability.guard import compare_policies_resilient
+
+    resume_dir = args.resume_dir
+    if resume_dir is None:
+        resume_dir = tempfile.mkdtemp(prefix="repro-resilient-")
+        print("[resilient] no --resume-dir given; state in %s" % resume_dir)
+    log = lambda msg: print("[resilient] %s" % msg)
+    if len(args.seeds) > 1:
+        rows = []
+        for name, factory in factories.items():
+            values = {"avg_ipc": [], "weighted_ipc": [],
+                      "harmonic_weighted_ipc": []}
+            for seed in args.seeds:
+                seeded = scale.with_overrides(seed=seed)
+                result = compare_policies_resilient(
+                    workload, {name: factory}, seeded, resume_dir,
+                    log=log)[name]
+                values["avg_ipc"].append(result.avg_ipc)
+                values["weighted_ipc"].append(result.weighted_ipc)
+                values["harmonic_weighted_ipc"].append(
+                    result.harmonic_weighted_ipc)
+            rows.append([name] + [
+                "%.3f +/- %.3f" % (statistics.mean(values[metric]),
+                                   statistics.pstdev(values[metric]))
+                for metric in ("avg_ipc", "weighted_ipc",
+                               "harmonic_weighted_ipc")
+            ])
+        print(format_table(
+            ["policy", "avg IPC", "weighted IPC", "harmonic weighted IPC"],
+            rows,
+        ))
+        return
+    results = compare_policies_resilient(workload, factories, scale,
+                                         resume_dir, log=log)
+    for result in results.values():
+        _report_reliability(result)
+    print(format_table(
+        ["policy", "avg IPC", "weighted IPC", "harmonic weighted IPC"],
+        [[name, result.avg_ipc, result.weighted_ipc,
+          result.harmonic_weighted_ipc]
+         for name, result in results.items()],
+    ))
+
+
 def cmd_solo(args):
     scale = _scale_from(args)
-    profile = get_profile(args.benchmark)
+    profile = _get_profile_checked(args.benchmark)
     value = solo_ipc(profile, scale)
     print("%s stand-alone IPC: %.3f" % (profile.name, value))
+
+
+def cmd_verify(args):
+    from repro.reliability.verify import run_verification
+
+    scale = _scale_from(args)
+    workload = args.workload
+    _get_workload_checked(workload)  # fail fast with the friendly message
+    if args.fidelity_period is not None and args.fidelity_period <= 0:
+        _fail("--fidelity-period must be a positive number of epochs, "
+              "got %d" % args.fidelity_period)
+    return run_verification(scale, workload_name=workload,
+                            fidelity_period=args.fidelity_period)
 
 
 def cmd_surface(args):
@@ -202,6 +347,7 @@ def build_parser():
     sub.add_argument("--workload", required=True)
     sub.add_argument("--policy", default="HILL")
     _add_scale_args(sub)
+    _add_resilience_args(sub)
     sub.set_defaults(func=cmd_run)
 
     sub = commands.add_parser("compare", help="several policies side by side")
@@ -212,6 +358,7 @@ def build_parser():
                      help="evaluate across several seeds (reports mean "
                           "+/- stdev)")
     _add_scale_args(sub)
+    _add_resilience_args(sub)
     sub.set_defaults(func=cmd_compare)
 
     sub = commands.add_parser("solo", help="stand-alone IPC of a benchmark")
@@ -226,14 +373,24 @@ def build_parser():
     _add_scale_args(sub)
     sub.set_defaults(func=cmd_surface)
 
+    sub = commands.add_parser(
+        "verify",
+        help="reliability suite: clean invariants + fault matrix "
+             "(non-zero exit on violation)")
+    sub.add_argument("--workload", default="art-mcf")
+    sub.add_argument("--fidelity-period", type=int, default=2,
+                     help="checkpoint-fidelity replay every N epochs")
+    _add_scale_args(sub)
+    # The matrix is ~10 guarded runs; smoke scale keeps it interactive.
+    sub.set_defaults(func=cmd_verify, scale="smoke")
+
     return parser
 
 
 def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
-    args.func(args)
-    return 0
+    return args.func(args) or 0
 
 
 if __name__ == "__main__":

@@ -49,13 +49,34 @@ class EpochController:
         already attached).
     epoch_size:
         Epoch length in cycles (the paper uses 64K).
+    checker:
+        Optional :class:`~repro.reliability.invariants.InvariantChecker`
+        (duck-typed: ``before_epoch(controller, proc)`` /
+        ``after_epoch(controller, proc, result)``); raises
+        :class:`~repro.reliability.invariants.InvariantViolation` on the
+        first broken invariant.
+    injector:
+        Optional :class:`~repro.reliability.faults.FaultInjector`
+        (duck-typed: ``before_epoch(proc, epoch_id)``) perturbing the
+        machine at epoch boundaries.
+    sanitize_partitions:
+        When True, illegal partition-register state (out-of-range,
+        non-conserving, or malformed — e.g. from a misbehaving policy) is
+        clamped and re-normalized at epoch boundaries instead of crashing
+        or silently corrupting the run; repairs land in :attr:`repairs`.
     """
 
-    def __init__(self, proc, epoch_size=DEFAULT_EPOCH_SIZE):
+    def __init__(self, proc, epoch_size=DEFAULT_EPOCH_SIZE, checker=None,
+                 injector=None, sanitize_partitions=False):
         if epoch_size <= 0:
             raise ValueError("epoch_size must be positive")
         self.proc = proc
         self.epoch_size = epoch_size
+        self.checker = checker
+        self.injector = injector
+        self.sanitize_partitions = sanitize_partitions
+        #: (epoch_id, stage, description) per partition repair performed.
+        self.repairs = []
         self.epoch_id = 0
         self.history = []
         # Whole-run accounting baseline.  Computed from the processor's
@@ -64,9 +85,21 @@ class EpochController:
         # software cost — are not lost between epochs.
         self._start_stats = proc.stats.copy()
 
+    def _maybe_sanitize(self, stage):
+        if not self.sanitize_partitions:
+            return
+        repair = self.proc.partitions.sanitize()
+        if repair is not None:
+            self.repairs.append((self.epoch_id, stage, repair))
+
     def run_epoch(self):
         """Execute one epoch and return its :class:`EpochResult`."""
         proc = self.proc
+        if self.injector is not None:
+            self.injector.before_epoch(proc, self.epoch_id)
+        self._maybe_sanitize("pre-epoch")
+        if self.checker is not None:
+            self.checker.before_epoch(self, proc)
         solo_thread = proc.policy.plan_epoch(proc, self.epoch_id)
         if solo_thread is not None:
             proc.set_enabled({solo_thread})
@@ -85,6 +118,9 @@ class EpochController:
         if solo_thread is not None:
             proc.enable_all()
         proc.policy.on_epoch_end(proc, result)
+        self._maybe_sanitize("post-policy")
+        if self.checker is not None:
+            self.checker.after_epoch(self, proc, result)
         self.history.append(result)
         self.epoch_id += 1
         return result

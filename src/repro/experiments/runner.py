@@ -7,9 +7,10 @@ are cached per (benchmark, config, seed) because every weighted metric
 needs them.
 """
 
+from collections import OrderedDict, namedtuple
 from dataclasses import dataclass, field, replace
 
-from repro.core.controller import EpochController
+from repro.core.controller import EpochController, EpochResult
 from repro.core.metrics import AvgIPC, HarmonicMeanWeightedIPC, WeightedIPC
 from repro.pipeline.config import SMTConfig
 from repro.pipeline.processor import SMTProcessor
@@ -40,6 +41,29 @@ class ExperimentScale:
     #: RAND-HILL trial budget per epoch.
     rand_hill_budget: int = 32
     seed: int = 0
+
+    def __post_init__(self):
+        for name in ("epoch_size", "epochs", "stride"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value <= 0:
+                raise ValueError(
+                    "ExperimentScale.%s must be a positive int, got %r"
+                    % (name, value))
+        if not isinstance(self.warmup, int) or self.warmup < 0:
+            raise ValueError(
+                "ExperimentScale.warmup must be a non-negative int, got %r"
+                % (self.warmup,))
+        if self.workloads_per_group is not None and (
+                not isinstance(self.workloads_per_group, int)
+                or self.workloads_per_group < 1):
+            raise ValueError(
+                "ExperimentScale.workloads_per_group must be None or an "
+                "int >= 1, got %r" % (self.workloads_per_group,))
+        if not isinstance(self.rand_hill_budget, int) \
+                or self.rand_hill_budget <= 0:
+            raise ValueError(
+                "ExperimentScale.rand_hill_budget must be a positive int, "
+                "got %r" % (self.rand_hill_budget,))
 
     @classmethod
     def smoke(cls):
@@ -94,6 +118,41 @@ class RunResult:
     cycles: int
     single_ipcs: list = None
     epoch_history: list = field(default_factory=list)
+    #: Optional reliability report attached by
+    #: :func:`repro.reliability.guard.run_policy_resilient` (retries,
+    #: repairs, faults injected, resume point).
+    reliability: dict = None
+
+    def to_dict(self):
+        """JSON-serializable form (floats round-trip exactly via repr)."""
+        from dataclasses import asdict
+
+        return {
+            "workload": self.workload,
+            "policy": self.policy,
+            "ipcs": list(self.ipcs),
+            "committed": list(self.committed),
+            "cycles": self.cycles,
+            "single_ipcs": None if self.single_ipcs is None
+            else list(self.single_ipcs),
+            "epoch_history": [asdict(epoch) for epoch in self.epoch_history],
+            "reliability": self.reliability,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            workload=data["workload"],
+            policy=data["policy"],
+            ipcs=list(data["ipcs"]),
+            committed=list(data["committed"]),
+            cycles=data["cycles"],
+            single_ipcs=None if data.get("single_ipcs") is None
+            else list(data["single_ipcs"]),
+            epoch_history=[EpochResult(**record)
+                           for record in data.get("epoch_history", [])],
+            reliability=data.get("reliability"),
+        )
 
     @property
     def avg_ipc(self):
@@ -113,7 +172,61 @@ class RunResult:
         return metric.value(self.ipcs)
 
 
-_SOLO_CACHE = {}
+CacheInfo = namedtuple("CacheInfo", "hits misses evictions maxsize currsize")
+
+#: SingleIPC cache bound: generous for any realistic sweep (22 benchmarks x
+#: a handful of scales/seeds) while keeping unbounded multi-config sweeps
+#: from growing the cache without limit.
+SOLO_CACHE_MAXSIZE = 512
+
+
+class _LRUCache:
+    """Small bounded LRU map with ``functools.lru_cache``-style counters."""
+
+    def __init__(self, maxsize):
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data = OrderedDict()
+
+    def get(self, key):
+        try:
+            self._data.move_to_end(key)
+        except KeyError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return self._data[key]
+
+    def put(self, key, value):
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def info(self):
+        return CacheInfo(hits=self.hits, misses=self.misses,
+                         evictions=self.evictions, maxsize=self.maxsize,
+                         currsize=len(self._data))
+
+    def clear(self):
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self):
+        return len(self._data)
+
+    def __contains__(self, key):
+        return key in self._data
+
+
+_SOLO_CACHE = _LRUCache(SOLO_CACHE_MAXSIZE)
 
 
 def solo_ipc(profile, scale):
@@ -124,8 +237,9 @@ def solo_ipc(profile, scale):
     """
     key = (profile.name, scale.config, scale.epoch_size, scale.epochs,
            scale.warmup, scale.seed)
-    if key in _SOLO_CACHE:
-        return _SOLO_CACHE[key]
+    cached = _SOLO_CACHE.get(key)
+    if cached is not None:
+        return cached
     proc = SMTProcessor(scale.config, [profile], seed=scale.seed,
                         policy=ICountPolicy())
     proc.run(scale.warmup)
@@ -133,13 +247,18 @@ def solo_ipc(profile, scale):
     proc.run(scale.epoch_size * scale.epochs)
     committed, cycles = proc.stats.delta_since(before)
     value = committed[0] / max(cycles, 1)
-    _SOLO_CACHE[key] = value
+    _SOLO_CACHE.put(key, value)
     return value
 
 
 def solo_ipcs(workload, scale):
     """SingleIPC_i for every thread of a workload."""
     return [solo_ipc(profile, scale) for profile in workload.profiles]
+
+
+def solo_cache_info():
+    """Hit/miss/eviction/size counters of the bounded SingleIPC cache."""
+    return _SOLO_CACHE.info()
 
 
 def clear_solo_cache():
@@ -155,14 +274,21 @@ def make_processor(workload, policy, scale, warm=True):
     return proc
 
 
-def run_policy(workload, policy, scale, epochs=None):
+def run_policy(workload, policy, scale, epochs=None, checker=None,
+               injector=None, sanitize_partitions=False):
     """Run one policy over a workload for the scaled window.
 
     Returns a :class:`RunResult` with SingleIPCs attached so every metric
-    of Section 3.1.1 can be evaluated on it.
+    of Section 3.1.1 can be evaluated on it.  ``checker`` / ``injector`` /
+    ``sanitize_partitions`` pass straight through to the
+    :class:`~repro.core.controller.EpochController` (see
+    :mod:`repro.reliability`); the guarded, resumable variant is
+    :func:`repro.reliability.guard.run_policy_resilient`.
     """
     proc = make_processor(workload, policy, scale)
-    controller = EpochController(proc, epoch_size=scale.epoch_size)
+    controller = EpochController(proc, epoch_size=scale.epoch_size,
+                                 checker=checker, injector=injector,
+                                 sanitize_partitions=sanitize_partitions)
     controller.run(epochs if epochs is not None else scale.epochs)
     committed, cycles = controller.totals()
     return RunResult(

@@ -1,0 +1,259 @@
+"""Composable fault injection for the learning loop.
+
+The paper's contribution is a feedback loop — partition, measure IPC,
+climb — and a credible reproduction should show how that loop behaves when
+the feedback is noisy or the plant misbehaves (cf. learning-based
+allocation work that stresses tolerance to faulty feedback).  This module
+perturbs exactly the quantities the loop depends on:
+
+* :class:`MemoryLatencySpike` — bursty main-memory latency (a noisy
+  memory system shifts every thread's IPC between epochs).
+* :class:`TransientFetchStall` — a random thread loses its front end for
+  a while (transient fetch starvation).
+* :class:`RNGDesync` — a workload stream's RNG is advanced out of band at
+  an epoch boundary, desynchronizing the instruction stream from any
+  twin/replay run (models external nondeterminism).
+* :class:`PartitionScramble` — raw corruption of the partition registers
+  (the bit-flip / buggy-firmware model).
+* :class:`MisbehavingPolicy` — a policy wrapper that emits out-of-range,
+  non-conserving, or structurally malformed partitions after delegating
+  to the real policy.  The controller is expected to clamp and
+  re-normalize (``sanitize_partitions=True``) instead of crashing.
+
+Faults attach at epoch boundaries through a :class:`FaultInjector` passed
+to the :class:`~repro.core.controller.EpochController`; every injection is
+recorded as a :class:`FaultEvent` so a run can report exactly what it
+survived.  All faults mutate only state that lives *inside* the processor
+(and is therefore captured by checkpoints); the injector itself stays
+outside, so a retry from a checkpoint does not mechanically replay the
+same external misfortune.
+"""
+
+import random
+from dataclasses import dataclass
+
+from repro.policies.base import ResourcePolicy
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault occurrence."""
+
+    epoch_id: int
+    fault: str
+    description: str
+
+
+class Fault:
+    """Base class: one fault model, invoked before every epoch."""
+
+    name = "fault"
+
+    def before_epoch(self, proc, epoch_id, rng):
+        """Perturb ``proc``; return a description string when a fault was
+        actually injected this epoch, else ``None``."""
+        return None
+
+
+class MemoryLatencySpike(Fault):
+    """Bursty main-memory latency: with probability ``burst_probability``
+    per epoch, memory latency rises by ``extra_latency`` cycles for
+    ``burst_epochs`` consecutive epochs."""
+
+    name = "mem-latency-spike"
+
+    def __init__(self, extra_latency=200, burst_probability=0.25,
+                 burst_epochs=2):
+        self.extra_latency = extra_latency
+        self.burst_probability = burst_probability
+        self.burst_epochs = burst_epochs
+        self._remaining = 0
+        self._base_latency = None
+
+    def before_epoch(self, proc, epoch_id, rng):
+        hierarchy = proc.hierarchy
+        if self._base_latency is None:
+            self._base_latency = hierarchy.mem_latency
+        if self._remaining > 0:
+            self._remaining -= 1
+            if self._remaining == 0:
+                hierarchy.mem_latency = self._base_latency
+                return None
+            return "memory latency held at %d (+%d), %d epochs left" % (
+                hierarchy.mem_latency, self.extra_latency, self._remaining)
+        if rng.random() < self.burst_probability:
+            hierarchy.mem_latency = self._base_latency + self.extra_latency
+            self._remaining = self.burst_epochs
+            return "memory latency spiked %d -> %d for %d epochs" % (
+                self._base_latency, hierarchy.mem_latency, self.burst_epochs)
+        hierarchy.mem_latency = self._base_latency
+        return None
+
+
+class TransientFetchStall(Fault):
+    """A random thread's fetch blocks for ``stall_cycles`` at the epoch
+    boundary (transient front-end loss: e.g. an ITLB shootdown)."""
+
+    name = "transient-fetch-stall"
+
+    def __init__(self, stall_cycles=500, probability=0.5):
+        self.stall_cycles = stall_cycles
+        self.probability = probability
+
+    def before_epoch(self, proc, epoch_id, rng):
+        if rng.random() >= self.probability:
+            return None
+        tid = rng.randrange(proc.num_threads)
+        thread = proc.threads[tid]
+        blocked_until = proc.cycle + self.stall_cycles
+        thread.fetch_blocked_until = max(thread.fetch_blocked_until,
+                                         blocked_until)
+        return "thread %d fetch stalled for %d cycles" % (
+            tid, self.stall_cycles)
+
+
+class RNGDesync(Fault):
+    """Advance one workload stream's RNG out of band, desynchronizing the
+    instruction stream from any deterministic twin of this run."""
+
+    name = "rng-desync"
+
+    def __init__(self, probability=0.5, max_draws=7):
+        self.probability = probability
+        self.max_draws = max_draws
+
+    def before_epoch(self, proc, epoch_id, rng):
+        if rng.random() >= self.probability:
+            return None
+        tid = rng.randrange(proc.num_threads)
+        draws = 1 + rng.randrange(self.max_draws)
+        stream_rng = proc.threads[tid].stream.rng
+        for __ in range(draws):
+            stream_rng.random()
+        return "thread %d stream RNG advanced %d draws" % (tid, draws)
+
+
+class PartitionScramble(Fault):
+    """Raw partition-register corruption (bit-flip model): writes garbage
+    directly into the register file, bypassing ``set_shares`` validation.
+
+    Only meaningful on a partitioned machine; a clean run must detect this
+    via :class:`~repro.reliability.invariants.InvariantChecker` or repair
+    it via ``sanitize_partitions=True``.
+    """
+
+    name = "partition-scramble"
+
+    def __init__(self, probability=0.35):
+        self.probability = probability
+
+    def before_epoch(self, proc, epoch_id, rng):
+        partitions = proc.partitions
+        if partitions.shares is None or rng.random() >= self.probability:
+            return None
+        return corrupt_partitions(partitions, rng)
+
+
+def corrupt_partitions(partitions, rng):
+    """Write one of four kinds of garbage into live partition registers.
+
+    Shared by :class:`PartitionScramble` and :class:`MisbehavingPolicy`;
+    returns a description of the corruption.
+    """
+    shares = list(partitions.shares)
+    num = len(shares)
+    mode = rng.choice(("negative", "oversubscribe", "wrong-length", "zero"))
+    if mode == "negative":
+        tid = rng.randrange(num)
+        shares[tid] = -shares[tid] - 1
+    elif mode == "oversubscribe":
+        tid = rng.randrange(num)
+        shares[tid] += partitions.config.rename_int
+    elif mode == "wrong-length":
+        shares.append(rng.randrange(1, 8))
+    else:  # zero: starves a thread below the minimum partition
+        shares[rng.randrange(num)] = 0
+    partitions.shares = list(shares)
+    partitions.limit_int_rename = list(shares)
+    return "partition registers corrupted (%s): %r" % (mode, shares)
+
+
+class MisbehavingPolicy(ResourcePolicy):
+    """Wrap a real policy and make it emit illegal partitions.
+
+    Delegates every hook to the wrapped policy, then — with probability
+    ``probability`` per epoch end — corrupts the partition registers the
+    inner policy just programmed.  This models a buggy or adversarial
+    policy implementation; the surrounding controller must clamp and
+    re-normalize (``sanitize_partitions=True``) rather than crash.
+
+    The wrapper is picklable, so it travels with processor checkpoints and
+    replays deterministically.
+    """
+
+    def __init__(self, inner, probability=0.5, seed=1234):
+        self.inner = inner
+        self.probability = probability
+        self.rng = random.Random(seed)
+        self.corruptions = 0
+        self.name = "MISBEHAVING(%s)" % inner.name
+
+    @property
+    def wants_miss_detection(self):
+        return self.inner.wants_miss_detection
+
+    def attach(self, proc):
+        self.inner.attach(proc)
+
+    def fetch_priority(self, proc, eligible):
+        return self.inner.fetch_priority(proc, eligible)
+
+    def on_cycle(self, proc):
+        self.inner.on_cycle(proc)
+
+    def on_l2_miss_detected(self, proc, instr):
+        self.inner.on_l2_miss_detected(proc, instr)
+
+    def on_load_complete(self, proc, instr):
+        self.inner.on_load_complete(proc, instr)
+
+    def on_squash(self, proc, tid, after_seq):
+        self.inner.on_squash(proc, tid, after_seq)
+
+    def plan_epoch(self, proc, epoch_id):
+        return self.inner.plan_epoch(proc, epoch_id)
+
+    def on_epoch_end(self, proc, epoch):
+        self.inner.on_epoch_end(proc, epoch)
+        if proc.partitions.shares is not None \
+                and self.rng.random() < self.probability:
+            corrupt_partitions(proc.partitions, self.rng)
+            self.corruptions += 1
+
+
+class FaultInjector:
+    """Composable set of faults driven by one seeded RNG.
+
+    Passed to :class:`~repro.core.controller.EpochController` as
+    ``injector=``; every epoch it offers each fault a chance to fire and
+    records what actually happened in :attr:`events`.
+    """
+
+    def __init__(self, faults, seed=0):
+        self.faults = list(faults)
+        self.rng = random.Random(seed)
+        self.events = []
+
+    def before_epoch(self, proc, epoch_id):
+        for fault in self.faults:
+            description = fault.before_epoch(proc, epoch_id, self.rng)
+            if description is not None:
+                self.events.append(FaultEvent(epoch_id, fault.name,
+                                              description))
+
+    def summary(self):
+        """{fault name: number of injections}."""
+        counts = {}
+        for event in self.events:
+            counts[event.fault] = counts.get(event.fault, 0) + 1
+        return counts

@@ -1,0 +1,256 @@
+"""Pipeline invariant checking.
+
+The hill-climbing feedback loop is only trustworthy if the simulator under
+it never silently corrupts state: an over-allocated issue queue or a
+non-conserving partition register biases every IPC sample the learner sees.
+:class:`InvariantChecker` attaches to an
+:class:`~repro.core.controller.EpochController` (via its ``checker=``
+parameter) and verifies, at every epoch boundary:
+
+* **Resource conservation** — per-thread IQ/ROB/rename/LSQ/IFQ occupancy
+  sums equal the shared global totals, no total exceeds its configured
+  capacity, and no free count ever goes negative (delegates to
+  :meth:`~repro.pipeline.processor.SMTProcessor.check_invariants`, then
+  re-raises with structured context).
+* **Partition legality** — programmed shares sum exactly to the shared
+  rename pool, respect the minimum partition, and every derived limit list
+  is well-formed (defensively, so garbage registers are reported rather
+  than crashing the check itself).
+* **Monotone counters** — committed-instruction and cycle counters never
+  decrease between observations.
+* **Epoch sanity** — per-epoch committed counts are non-negative, cycles
+  positive, and per-thread IPC never exceeds the commit width.
+* **Checkpoint round-trip fidelity** (optional, every
+  ``fidelity_period`` epochs) — a
+  :class:`~repro.pipeline.checkpoint.Checkpoint` taken at the epoch start
+  is materialized and replayed through an identical epoch; the replica
+  must match the live machine cycle-for-cycle and counter-for-counter.
+
+Every failure raises :class:`InvariantViolation` carrying the invariant
+name, the epoch/cycle where it tripped, and a details mapping — a
+structured, machine-readable report instead of a bare assertion.
+"""
+
+from repro.pipeline.checkpoint import Checkpoint
+
+
+class InvariantViolation(Exception):
+    """A pipeline invariant failed, with full context attached."""
+
+    def __init__(self, invariant, message, epoch_id=None, cycle=None,
+                 details=None):
+        self.invariant = invariant
+        self.epoch_id = epoch_id
+        self.cycle = cycle
+        self.details = dict(details or {})
+        where = []
+        if epoch_id is not None:
+            where.append("epoch %d" % epoch_id)
+        if cycle is not None:
+            where.append("cycle %d" % cycle)
+        suffix = (" [%s]" % ", ".join(where)) if where else ""
+        super().__init__("[%s] %s%s" % (invariant, message, suffix))
+
+    def to_dict(self):
+        """JSON-friendly form (used by run manifests and ``repro verify``)."""
+        return {
+            "invariant": self.invariant,
+            "message": str(self),
+            "epoch_id": self.epoch_id,
+            "cycle": self.cycle,
+            "details": {key: repr(value)
+                        for key, value in self.details.items()},
+        }
+
+
+def _stats_signature(proc):
+    """Counters that must match exactly between a live machine and a
+    checkpoint replay of the same epoch."""
+    stats = proc.stats
+    return {
+        "cycle": proc.cycle,
+        "stat_cycles": stats.cycles,
+        "committed": tuple(stats.committed),
+        "squashed": tuple(stats.squashed),
+        "mispredicts": tuple(stats.mispredicts),
+        "l2_misses": tuple(stats.l2_misses),
+        "dl1_misses": proc.hierarchy.dl1.stats.misses,
+        "shares": None if proc.partitions.shares is None
+        else tuple(proc.partitions.shares),
+    }
+
+
+class InvariantChecker:
+    """Per-epoch invariant verification for one controller/processor pair.
+
+    Parameters
+    ----------
+    fidelity_period:
+        Run the (expensive: one pickle round-trip plus one epoch replay)
+        checkpoint-fidelity check every this many epochs; ``None``
+        disables it.
+    """
+
+    def __init__(self, fidelity_period=None):
+        if fidelity_period is not None and fidelity_period <= 0:
+            raise ValueError("fidelity_period must be positive or None")
+        self.fidelity_period = fidelity_period
+        self.checks_run = 0
+        self.fidelity_checks_run = 0
+        self._last_committed = None
+        self._last_cycles = None
+        self._pending_fidelity = None  # (epoch_id, Checkpoint)
+
+    # -- controller hooks --------------------------------------------------
+
+    def before_epoch(self, controller, proc):
+        """Capture the epoch-start checkpoint when a fidelity check is due."""
+        if self.fidelity_period is None:
+            return
+        if controller.epoch_id % self.fidelity_period == 0:
+            self._pending_fidelity = (controller.epoch_id, Checkpoint(proc))
+
+    def after_epoch(self, controller, proc, result):
+        """Run the full invariant suite for one completed epoch."""
+        self.checks_run += 1
+        epoch_id = result.epoch_id
+        self._check_conservation(proc, epoch_id)
+        self._check_partitions(proc, epoch_id)
+        self._check_monotone(proc, epoch_id)
+        self._check_epoch_result(proc, result)
+        if self._pending_fidelity is not None \
+                and self._pending_fidelity[0] == epoch_id:
+            pending = self._pending_fidelity
+            self._pending_fidelity = None
+            self._check_fidelity(controller, proc, pending[1], epoch_id)
+
+    # -- individual invariants ---------------------------------------------
+
+    def _check_conservation(self, proc, epoch_id):
+        try:
+            proc.check_invariants()
+        except AssertionError as exc:
+            raise InvariantViolation(
+                "resource-conservation", str(exc), epoch_id=epoch_id,
+                cycle=proc.cycle,
+                details={"occupancy": [proc.occupancy(tid)
+                                       for tid in range(proc.num_threads)]},
+            ) from None
+        for name, total in (("ifq", proc.ifq_total),
+                            ("iq_int", proc.iq_int_total),
+                            ("iq_fp", proc.iq_fp_total),
+                            ("ren_int", proc.ren_int_total),
+                            ("ren_fp", proc.ren_fp_total),
+                            ("lsq", proc.lsq_total),
+                            ("rob", proc.rob_total)):
+            if total < 0:
+                raise InvariantViolation(
+                    "resource-conservation",
+                    "global %s total is negative (%d): free count "
+                    "underflow" % (name, total),
+                    epoch_id=epoch_id, cycle=proc.cycle,
+                    details={"structure": name, "total": total},
+                )
+
+    def _check_partitions(self, proc, epoch_id):
+        problem = proc.partitions.legality_error()
+        if problem is not None:
+            raise InvariantViolation(
+                "partition-legality", problem, epoch_id=epoch_id,
+                cycle=proc.cycle,
+                details={"shares": proc.partitions.shares,
+                         "limit_int_rename": proc.partitions.limit_int_rename,
+                         "limit_int_iq": proc.partitions.limit_int_iq,
+                         "limit_rob": proc.partitions.limit_rob},
+            )
+        if proc.partitions.shares is not None:
+            config = proc.config
+            for name, limits, capacity in (
+                ("int_iq", proc.partitions.limit_int_iq, config.iq_int_size),
+                ("rob", proc.partitions.limit_rob, config.rob_size),
+            ):
+                if sum(limits) != capacity:
+                    raise InvariantViolation(
+                        "partition-legality",
+                        "derived %s limits sum %d != capacity %d"
+                        % (name, sum(limits), capacity),
+                        epoch_id=epoch_id, cycle=proc.cycle,
+                        details={"limits": limits},
+                    )
+
+    def _check_monotone(self, proc, epoch_id):
+        committed = list(proc.stats.committed)
+        cycles = proc.stats.cycles
+        if self._last_committed is not None:
+            for tid, (now, before) in enumerate(
+                    zip(committed, self._last_committed)):
+                if now < before:
+                    raise InvariantViolation(
+                        "monotone-counters",
+                        "thread %d committed counter went backwards "
+                        "(%d -> %d)" % (tid, before, now),
+                        epoch_id=epoch_id, cycle=proc.cycle,
+                        details={"before": self._last_committed,
+                                 "now": committed},
+                    )
+            if cycles < self._last_cycles:
+                raise InvariantViolation(
+                    "monotone-counters",
+                    "cycle counter went backwards (%d -> %d)"
+                    % (self._last_cycles, cycles),
+                    epoch_id=epoch_id, cycle=proc.cycle,
+                )
+        self._last_committed = committed
+        self._last_cycles = cycles
+
+    def _check_epoch_result(self, proc, result):
+        if result.cycles <= 0:
+            raise InvariantViolation(
+                "epoch-sanity", "epoch charged %d cycles" % result.cycles,
+                epoch_id=result.epoch_id, cycle=proc.cycle,
+            )
+        for tid, count in enumerate(result.committed):
+            if count < 0:
+                raise InvariantViolation(
+                    "epoch-sanity",
+                    "thread %d committed %d instructions this epoch"
+                    % (tid, count),
+                    epoch_id=result.epoch_id, cycle=proc.cycle,
+                    details={"committed": result.committed},
+                )
+        width = proc.config.commit_width
+        for tid, ipc in enumerate(result.ipcs):
+            if not (0.0 <= ipc <= width):
+                raise InvariantViolation(
+                    "epoch-sanity",
+                    "thread %d epoch IPC %.3f outside [0, commit width %d]"
+                    % (tid, ipc, width),
+                    epoch_id=result.epoch_id, cycle=proc.cycle,
+                    details={"ipcs": result.ipcs},
+                )
+
+    def _check_fidelity(self, controller, proc, checkpoint, epoch_id):
+        """Replay the epoch from its start checkpoint; the replica must
+        match the live machine exactly."""
+        from repro.core.controller import EpochController
+
+        self.fidelity_checks_run += 1
+        replay_proc = checkpoint.materialize()
+        replay = EpochController(
+            replay_proc, epoch_size=controller.epoch_size,
+            sanitize_partitions=controller.sanitize_partitions,
+        )
+        replay.epoch_id = epoch_id
+        replay.run_epoch()
+        live = _stats_signature(proc)
+        replica = _stats_signature(replay_proc)
+        if live != replica:
+            diverged = sorted(key for key in live
+                              if live[key] != replica[key])
+            raise InvariantViolation(
+                "checkpoint-fidelity",
+                "replayed epoch diverged from the live run on: %s"
+                % ", ".join(diverged),
+                epoch_id=epoch_id, cycle=proc.cycle,
+                details={"live": live, "replay": replica},
+            )

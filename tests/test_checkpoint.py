@@ -98,3 +98,53 @@ class TestCheckpointReplay:
         restored = Checkpoint(proc).materialize()
         restored.run(2500)
         assert restored.check_invariants()
+
+
+class TestEpochControllerDeterminism:
+    """Checkpoint determinism at the epoch-loop level: the controller (not
+    just raw ``run``) must replay identically from a checkpoint."""
+
+    @staticmethod
+    def controller_signature(proc, epochs, epoch_size=1024):
+        from repro.core.controller import EpochController
+
+        controller = EpochController(proc, epoch_size=epoch_size)
+        controller.run(epochs)
+        return (
+            tuple(tuple(result.ipcs) for result in controller.history),
+            tuple(tuple(result.committed) for result in controller.history),
+            controller.totals(),
+            proc.cycle,
+        )
+
+    def test_two_materializations_run_identically(self):
+        proc = make_proc()
+        proc.run(2000)
+        checkpoint = Checkpoint(proc)
+        first = self.controller_signature(checkpoint.materialize(), 3)
+        second = self.controller_signature(checkpoint.materialize(), 3)
+        assert first == second
+
+    def test_replay_does_not_perturb_original(self):
+        proc = make_proc()
+        proc.run(2000)
+        cycle = proc.cycle
+        committed = list(proc.stats.committed)
+        checkpoint = Checkpoint(proc)
+        self.controller_signature(checkpoint.materialize(), 2)
+        assert proc.cycle == cycle
+        assert list(proc.stats.committed) == committed
+        # ...and the original continues exactly like a fresh replica.
+        live = self.controller_signature(proc, 2)
+        replica = self.controller_signature(checkpoint.materialize(), 2)
+        assert live == replica
+
+    def test_learning_policy_replays_identically(self):
+        from repro.core.hill_climbing import make_hill_policy
+
+        proc = make_proc(policy=make_hill_policy("ipc"))
+        proc.run(2000)
+        checkpoint = Checkpoint(proc)
+        first = self.controller_signature(checkpoint.materialize(), 4)
+        second = self.controller_signature(checkpoint.materialize(), 4)
+        assert first == second

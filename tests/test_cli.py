@@ -67,3 +67,44 @@ class TestPolicyFactory:
     def test_unknown_rejected(self):
         with pytest.raises(SystemExit):
             _policy_factory("MAGIC", ExperimentScale.smoke())
+
+
+class TestBadNames:
+    """Unknown names exit with status 2 and a one-line error listing the
+    valid choices, instead of a traceback."""
+
+    def test_unknown_workload(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--workload", "nope-nope", "--policy", "ICOUNT",
+                  "--scale", "smoke"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "nope-nope" in err
+        assert "art-mcf" in err  # valid choices listed
+
+    def test_unknown_benchmark(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["solo", "--benchmark", "quake3", "--scale", "smoke"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "quake3" in err
+        assert "mcf" in err
+
+    def test_unknown_policy(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--workload", "art-mcf", "--policy", "MAGIC",
+                  "--scale", "smoke"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "MAGIC" in err
+        assert "ICOUNT" in err
+
+    def test_unknown_policy_in_compare(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["compare", "--workload", "art-mcf", "--scale", "smoke",
+                  "--policies", "ICOUNT", "BOGUS"])
+        assert excinfo.value.code == 2
+        assert "BOGUS" in capsys.readouterr().err

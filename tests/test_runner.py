@@ -4,7 +4,9 @@ import pytest
 
 from repro.core.metrics import AvgIPC, WeightedIPC
 from repro.experiments.runner import (
+    SOLO_CACHE_MAXSIZE,
     ExperimentScale,
+    _LRUCache,
     baseline_factories,
     clear_solo_cache,
     compare_policies,
@@ -12,6 +14,7 @@ from repro.experiments.runner import (
     run_policy,
     run_policy_multi,
     select_workloads,
+    solo_cache_info,
     solo_ipc,
     solo_ipcs,
 )
@@ -48,6 +51,29 @@ class TestScale:
         assert ExperimentScale.smoke().hill_sample_period == 40
 
 
+class TestScaleValidation:
+    def test_rejects_bad_values(self, scale):
+        for field, bad in (
+            ("epoch_size", 0),
+            ("epoch_size", -1024),
+            ("epoch_size", 1024.0),
+            ("epochs", 0),
+            ("stride", -2),
+            ("warmup", -1),
+            ("workloads_per_group", 0),
+            ("rand_hill_budget", 0),
+        ):
+            with pytest.raises(ValueError, match=field):
+                scale.with_overrides(**{field: bad})
+
+    def test_accepts_boundary_values(self, scale):
+        assert scale.with_overrides(warmup=0).warmup == 0
+        assert scale.with_overrides(workloads_per_group=None) \
+            .workloads_per_group is None
+        assert scale.with_overrides(workloads_per_group=1) \
+            .workloads_per_group == 1
+
+
 class TestSoloIPC:
     def test_cached(self, scale):
         clear_solo_cache()
@@ -65,6 +91,53 @@ class TestSoloIPC:
     def test_ilp_faster_than_mem(self, scale):
         assert solo_ipc(get_profile("gzip"), scale) > \
             solo_ipc(get_profile("mcf"), scale)
+
+    def test_cache_info_counts_hits_and_misses(self, scale):
+        clear_solo_cache()
+        solo_ipc(get_profile("gzip"), scale)
+        solo_ipc(get_profile("gzip"), scale)
+        info = solo_cache_info()
+        assert info.misses == 1
+        assert info.hits == 1
+        assert info.currsize == 1
+        assert info.maxsize == SOLO_CACHE_MAXSIZE
+
+
+class TestLRUCache:
+    def test_bounded_with_lru_eviction(self):
+        cache = _LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"; "b" is now LRU
+        cache.put("c", 3)
+        assert len(cache) == 2
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_info_counters(self):
+        cache = _LRUCache(maxsize=1)
+        assert cache.get("missing") is None
+        cache.put("a", 1)
+        cache.put("b", 2)  # evicts "a"
+        cache.get("b")
+        info = cache.info()
+        assert info.misses == 1
+        assert info.hits == 1
+        assert info.evictions == 1
+        assert info.currsize == 1
+
+    def test_clear_resets(self):
+        cache = _LRUCache(maxsize=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.info() == (0, 0, 0, 4, 0)
+
+    def test_rejects_nonpositive_maxsize(self):
+        with pytest.raises(ValueError):
+            _LRUCache(maxsize=0)
 
 
 class TestRunPolicy:
