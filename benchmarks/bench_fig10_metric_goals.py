@@ -19,11 +19,12 @@ MATCHED = {
 }
 
 
-def test_fig10_metric_goals(benchmark, scale):
+def test_fig10_metric_goals(benchmark, scale, engine):
     # The full cross-product (6 policies x workloads x 3 metrics) is the
-    # most expensive figure; evaluate one workload per group.
+    # most expensive figure; evaluate one workload per group, fanning the
+    # policy grid out over the sweep engine.
     sized = scale.with_overrides(workloads_per_group=1)
-    result = run_once(benchmark, fig10_metric_goals, sized)
+    result = run_once(benchmark, fig10_metric_goals, sized, engine=engine)
 
     summary = result["summary"]
     policies = sorted(next(iter(summary.values())))

@@ -12,8 +12,10 @@ from repro.experiments.figures import fig4_offline_limit
 from repro.experiments.report import format_table, mean, pct_gain
 
 
-def test_fig4_offline_limit(benchmark, scale):
-    result = run_once(benchmark, fig4_offline_limit, scale)
+def test_fig4_offline_limit(benchmark, scale, engine):
+    # Baseline cells go through the sweep engine (pool + result cache);
+    # the OFF-LINE learner itself stays in-process.
+    result = run_once(benchmark, fig4_offline_limit, scale, engine=engine)
 
     print_header("Figure 4: OFF-LINE vs ICOUNT/FLUSH/DCRA (weighted IPC)")
     print(format_table(

@@ -12,8 +12,11 @@ from repro.experiments.figures import fig9_hill_vs_baselines
 from repro.experiments.report import format_table
 
 
-def test_fig9_hill_vs_baselines(benchmark, scale):
-    result = run_once(benchmark, fig9_hill_vs_baselines, scale)
+def test_fig9_hill_vs_baselines(benchmark, scale, engine):
+    # The policy grid fans out over the sweep engine's worker pool and
+    # result cache (REPRO_BENCH_JOBS / REPRO_CACHE_DIR).
+    result = run_once(benchmark, fig9_hill_vs_baselines, scale,
+                      engine=engine)
 
     print_header("Figure 9: HILL-WIPC vs baselines (weighted IPC)")
     print(format_table(

@@ -13,9 +13,10 @@ from repro.experiments.report import format_table
 from repro.experiments.runner import select_workloads
 
 
-def test_sec5_phase_hill(benchmark, scale):
+def test_sec5_phase_hill(benchmark, scale, engine):
     workloads = select_workloads(("MIX2", "MEM2", "MIX4"), scale)
-    result = run_once(benchmark, sec5_phase_hill, scale, workloads=workloads)
+    result = run_once(benchmark, sec5_phase_hill, scale, workloads=workloads,
+                      engine=engine)
 
     print_header("Section 5: HILL vs PHASE-HILL (weighted IPC)")
     print(format_table(

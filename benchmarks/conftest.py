@@ -2,8 +2,15 @@
 
 Scale selection: set ``REPRO_BENCH_SCALE`` to ``smoke``, ``bench``
 (default) or ``full``.  The reported numbers in EXPERIMENTS.md come from
-the default ``bench`` scale; ``full`` approximates the paper's scale and
-takes hours.
+the default ``bench`` scale; ``full`` approximates the paper's scale.
+
+Parallelism and caching: ``REPRO_BENCH_JOBS`` sets the sweep-engine
+worker count for the figure grids (default: 1 at smoke/bench, all cores
+at full — the full-scale harness is only tractable through the parallel
+sweep layer).  Cell results are memoized in the content-addressed cache
+at ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro-sweeps``), so a
+re-run after an edit only re-simulates invalidated cells; set
+``REPRO_BENCH_CACHE=0`` to disable.  See docs/PARALLEL.md.
 """
 
 import os
@@ -33,9 +40,35 @@ def current_scale():
     return scale
 
 
+def current_jobs():
+    """Sweep-engine worker count for the figure grids."""
+    env = os.environ.get("REPRO_BENCH_JOBS")
+    if env:
+        jobs = int(env)
+        if jobs < 1:
+            raise ValueError("REPRO_BENCH_JOBS must be >= 1")
+        return jobs
+    if os.environ.get("REPRO_BENCH_SCALE", "bench").lower() == "full":
+        return os.cpu_count() or 1
+    return 1
+
+
 @pytest.fixture(scope="session")
 def scale():
     return current_scale()
+
+
+@pytest.fixture(scope="session")
+def engine(scale):
+    """Session-wide sweep engine: the policy-grid figures fan their
+    (workload x policy) cells out over it and share one result cache."""
+    from repro.experiments.parallel import SweepEngine
+
+    return SweepEngine(
+        scale,
+        jobs=current_jobs(),
+        use_cache=os.environ.get("REPRO_BENCH_CACHE", "1") != "0",
+    )
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -19,6 +19,13 @@ Commands
     Reliability suite: clean-run pipeline invariants (including
     checkpoint-fidelity replays) plus the fault-injection matrix.
     Exits non-zero on any violation or unhandled failure.
+``sweep``
+    Run a (workload x policy x seed) grid over a process pool
+    (``--jobs N``) with content-addressed on-disk result caching,
+    JSONL progress events, optional crash-safe per-cell resume, and a
+    deterministic merged-JSON export (see docs/PARALLEL.md).
+``cache``
+    ``info``/``clear`` for the sweep result cache.
 
 All simulation commands accept ``--scale smoke|bench|full`` plus explicit
 ``--epochs`` / ``--epoch-size`` / ``--seed`` overrides.  ``run`` and
@@ -35,9 +42,6 @@ the valid choices and exit with status 2.
 import argparse
 import sys
 
-from repro.core.hill_climbing import HillClimbingPolicy
-from repro.core.metrics import metric_by_name
-from repro.core.phase_hill import PhaseHillPolicy
 from repro.experiments.report import format_table
 from repro.experiments.runner import (
     ExperimentScale,
@@ -45,7 +49,6 @@ from repro.experiments.runner import (
     run_policy,
     solo_ipc,
 )
-from repro.policies import BASELINE_POLICIES
 from repro.workloads.mixes import GROUPS, get_workload, workload_names
 from repro.workloads.spec2000 import PROFILES, get_profile
 
@@ -81,23 +84,18 @@ def _get_profile_checked(name):
 
 
 def _policy_factory(name, scale):
-    """Resolve a policy name (baselines + HILL[-metric] + PHASE-HILL)."""
-    upper = name.upper()
-    if upper in BASELINE_POLICIES:
-        return BASELINE_POLICIES[upper]
-    if upper.startswith("PHASE-HILL") or upper.startswith("HILL"):
-        metric_name = "wipc"
-        if "-" in upper:
-            suffix = upper.split("-")[-1]
-            if suffix in ("IPC", "WIPC", "HWIPC"):
-                metric_name = suffix.lower()
-        cls = PhaseHillPolicy if upper.startswith("PHASE") else \
-            HillClimbingPolicy
-        return lambda: cls(metric=metric_by_name(metric_name),
-                           software_cost=scale.hill_software_cost,
-                           sample_period=scale.hill_sample_period)
-    _fail("unknown policy %r (valid: %s, HILL[-IPC|-WIPC|-HWIPC], "
-          "PHASE-HILL)" % (name, ", ".join(sorted(BASELINE_POLICIES))))
+    """Resolve a policy name (baselines + HILL[-metric] + PHASE-HILL).
+
+    Name resolution lives in :mod:`repro.experiments.parallel` (the sweep
+    workers share it); this wrapper only converts unknown names into the
+    CLI's one-line exit-2 error.
+    """
+    from repro.experiments.parallel import policy_factory
+
+    try:
+        return policy_factory(name, scale)
+    except ValueError as exc:
+        _fail(str(exc))
 
 
 def _scale_from(args):
@@ -326,6 +324,95 @@ def cmd_surface(args):
     print("peak %.3f at %s" % (surface.peak_ipc, surface.peak_shares))
 
 
+def _print_sweep_event(record):
+    """One-line live progress for ``repro sweep``."""
+    event = record["event"]
+    if event == "sweep-start":
+        print("[sweep] %d cells: %d cached, %d to simulate (%d workers)"
+              % (record["total"], record["cached"], record["pending"],
+                 record["jobs"]))
+    elif event == "cell-done":
+        eta = (", eta %ds" % record["eta_s"]) if "eta_s" in record else ""
+        print("[sweep] %d/%d done (%d cached, %d running%s) — %s"
+              % (record["done"], record["total"], record["cached"],
+                 record["running"], eta, record["cell"]))
+    elif event == "sweep-done":
+        print("[sweep] finished: %d cells (%d cached, %d simulated) "
+              "in %.1fs" % (record["total"], record["cached"],
+                            record["simulated"], record["wall_s"]))
+
+
+def cmd_sweep(args):
+    from repro.experiments.parallel import (
+        DEFAULT_POLICIES,
+        SWEEP_PRESETS,
+        SweepEngine,
+        grid_cells,
+        merged_json,
+    )
+
+    scale = _scale_from(args)
+    groups = list(args.groups or [])
+    policies = list(args.policies or [])
+    if args.preset is not None:
+        preset_groups, preset_policies = SWEEP_PRESETS[args.preset]
+        groups = groups or list(preset_groups)
+        policies = policies or list(preset_policies)
+    if not args.workloads and not groups:
+        _fail("sweep needs --workloads, --groups, or --preset")
+    try:
+        cells = grid_cells(
+            workloads=args.workloads, groups=groups,
+            policies=policies or DEFAULT_POLICIES,
+            seeds=tuple(args.seeds), epochs=None,  # --epochs is in scale
+            workloads_per_group=(args.workloads_per_group
+                                 if args.workloads_per_group is not None
+                                 else scale.workloads_per_group))
+    except (KeyError, ValueError) as exc:
+        # Both error paths already name the valid choices.
+        _fail(exc.args[0] if exc.args else str(exc))
+    engine = SweepEngine(
+        scale, jobs=args.jobs, cache_dir=args.cache_dir,
+        events_path=args.events, resume_dir=args.resume_dir,
+        use_cache=not args.no_cache,
+        on_event=None if args.quiet else _print_sweep_event)
+    results = engine.run_cells(cells)
+    rows = [
+        [cell.workload, cell.policy, cell.seed, result.avg_ipc,
+         result.weighted_ipc, result.harmonic_weighted_ipc]
+        for cell, result in zip(cells, results)
+    ]
+    print(format_table(
+        ["workload", "policy", "seed", "avg IPC", "weighted IPC",
+         "harmonic weighted IPC"], rows))
+    if args.out is not None:
+        import os
+
+        out_dir = os.path.dirname(args.out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.out, "w") as handle:
+            handle.write(merged_json(cells, results, scale))
+        print("merged results written to %s" % args.out)
+
+
+def cmd_cache(args):
+    from repro.experiments.parallel import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "info":
+        stats = cache.info()
+        print(format_table(
+            ["field", "value"],
+            [["directory", stats.directory],
+             ["entries", stats.entries],
+             ["size", "%.1f KiB" % (stats.bytes / 1024.0)]]))
+    else:  # clear
+        removed = cache.clear()
+        print("removed %d cached result(s) from %s"
+              % (removed, cache.directory))
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -383,6 +470,52 @@ def build_parser():
     _add_scale_args(sub)
     # The matrix is ~10 guarded runs; smoke scale keeps it interactive.
     sub.set_defaults(func=cmd_verify, scale="smoke")
+
+    sub = commands.add_parser(
+        "sweep",
+        help="run a (workload x policy x seed) grid over a process pool "
+             "with on-disk result caching")
+    sub.add_argument("--workloads", nargs="+", default=None,
+                     help="explicit workload names")
+    sub.add_argument("--groups", nargs="+", choices=GROUPS, default=None,
+                     help="Table 3 groups to sweep")
+    sub.add_argument("--preset", choices=("fig4", "fig9", "fig10", "sec5"),
+                     default=None,
+                     help="shorthand for a figure's grid (groups + policies)")
+    sub.add_argument("--policies", nargs="+", default=None,
+                     help="policies per workload (default: ICOUNT FLUSH "
+                          "DCRA HILL)")
+    sub.add_argument("--seeds", nargs="+", type=int, default=[0])
+    sub.add_argument("--workloads-per-group", type=int, default=None,
+                     metavar="N", help="first N workloads of each group")
+    sub.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes (1 = serial; results are "
+                          "byte-identical either way)")
+    sub.add_argument("--cache-dir", default=None, metavar="DIR",
+                     help="result cache (default: $REPRO_CACHE_DIR or "
+                          "~/.cache/repro-sweeps)")
+    sub.add_argument("--no-cache", action="store_true",
+                     help="bypass the result cache entirely")
+    sub.add_argument("--out", default=None, metavar="FILE",
+                     help="write merged results JSON here")
+    sub.add_argument("--events", default=None, metavar="FILE",
+                     help="append JSONL progress events here")
+    sub.add_argument("--resume-dir", default=None, metavar="DIR",
+                     help="per-cell crash-safe checkpoints; re-running "
+                          "after a kill resumes mid-cell")
+    sub.add_argument("--quiet", action="store_true",
+                     help="suppress live progress lines")
+    _add_scale_args(sub)
+    sub.set_defaults(func=cmd_sweep)
+
+    sub = commands.add_parser(
+        "cache", help="inspect or empty the sweep result cache")
+    cache_commands = sub.add_subparsers(dest="cache_command", required=True)
+    for name, help_text in (("info", "entry count, size, directory"),
+                            ("clear", "delete every cached result")):
+        cache_sub = cache_commands.add_parser(name, help=help_text)
+        cache_sub.add_argument("--cache-dir", default=None, metavar="DIR")
+        cache_sub.set_defaults(func=cmd_cache)
 
     return parser
 

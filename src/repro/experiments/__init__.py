@@ -1,11 +1,13 @@
 """Experiment drivers: one entry point per table/figure of the paper.
 
 `runner` provides the shared machinery (warmed runs, solo-IPC caching,
-policy comparisons); `sync` implements the checkpoint-synchronized
-time-varying comparisons of Figures 5/12; `figures` and `tables` expose
-``fig*``/``table*`` functions returning structured results; `ablations`
-covers the design-choice sweeps DESIGN.md calls out; `report` renders
-ASCII tables/series for the benches and examples.
+policy comparisons); `parallel` fans experiment grids out over a process
+pool with content-addressed on-disk result caching (docs/PARALLEL.md);
+`sync` implements the checkpoint-synchronized time-varying comparisons of
+Figures 5/12; `figures` and `tables` expose ``fig*``/``table*`` functions
+returning structured results; `ablations` covers the design-choice sweeps
+DESIGN.md calls out; `report` renders ASCII tables/series for the benches
+and examples.
 """
 
 from repro.experiments.runner import (
@@ -15,14 +17,26 @@ from repro.experiments.runner import (
     run_policy,
     solo_ipcs,
 )
+from repro.experiments.parallel import (
+    ResultCache,
+    SweepCell,
+    SweepEngine,
+    grid_cells,
+    merged_json,
+)
 from repro.experiments.sync import synchronized_timeline
 from repro.experiments import figures, tables, ablations, report
 
 __all__ = [
     "ExperimentScale",
+    "ResultCache",
     "RunResult",
+    "SweepCell",
+    "SweepEngine",
     "run_policy",
     "compare_policies",
+    "grid_cells",
+    "merged_json",
     "solo_ipcs",
     "synchronized_timeline",
     "figures",

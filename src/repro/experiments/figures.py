@@ -83,6 +83,14 @@ def _metric_of(ipcs, singles, metric):
     return metric.value(ipcs)
 
 
+def _prefetch(engine, workloads, policy_names):
+    """Warm a sweep engine with a driver's whole (workload x policy) grid
+    in one parallel pass; the per-workload ``compare_policies`` calls
+    below then resolve from the engine's cache."""
+    if engine is not None:
+        engine.prefetch(workloads, list(policy_names))
+
+
 # ---------------------------------------------------------------------------
 # Figure 2 — IPC surface over the 3-thread distribution space
 # ---------------------------------------------------------------------------
@@ -104,17 +112,20 @@ def fig2_surface(scale, benchmarks=("mesa", "vortex", "fma3d"), interval=None):
 # Figure 4 — OFF-LINE limit study vs ICOUNT / FLUSH / DCRA (2-thread)
 # ---------------------------------------------------------------------------
 
-def fig4_offline_limit(scale, groups=TWO_THREAD_GROUPS, workloads=None):
+def fig4_offline_limit(scale, groups=TWO_THREAD_GROUPS, workloads=None,
+                       engine=None):
     """Weighted IPC of OFF-LINE vs the baselines on the 2-thread workloads.
 
     Returns {"rows": [(workload, group, {policy: wipc})], "gains": {...}}.
     """
     metric = WeightedIPC()
     selected = workloads or select_workloads(groups, scale)
+    _prefetch(engine, selected, baseline_factories())
     rows = []
     values_by_workload = {}
     for workload in selected:
-        results = compare_policies(workload, baseline_factories(), scale)
+        results = compare_policies(workload, baseline_factories(), scale,
+                                   engine=engine)
         values = {
             name: result.weighted_ipc for name, result in results.items()
         }
@@ -194,16 +205,18 @@ def fig7_hill_widths(scale, groups=TWO_THREAD_GROUPS, workloads=None,
 # Figure 9 — hill-climbing vs baselines on all 42 workloads
 # ---------------------------------------------------------------------------
 
-def fig9_hill_vs_baselines(scale, groups=ALL_GROUPS, workloads=None):
+def fig9_hill_vs_baselines(scale, groups=ALL_GROUPS, workloads=None,
+                           engine=None):
     """Weighted IPC of HILL-WIPC vs ICOUNT/FLUSH/DCRA."""
     selected = workloads or select_workloads(groups, scale)
+    _prefetch(engine, selected, list(baseline_factories()) + ["HILL"])
     rows = []
     values_by_workload = {}
     group_values = {}
     for workload in selected:
         factories = dict(baseline_factories())
         factories["HILL"] = _hill_factory(WeightedIPC(), scale)
-        results = compare_policies(workload, factories, scale)
+        results = compare_policies(workload, factories, scale, engine=engine)
         values = {name: result.weighted_ipc for name, result in results.items()}
         rows.append((workload.name, workload.group, values))
         values_by_workload[workload.name] = values
@@ -224,7 +237,8 @@ def fig9_hill_vs_baselines(scale, groups=ALL_GROUPS, workloads=None):
 # Figure 10 — metric-matched learning
 # ---------------------------------------------------------------------------
 
-def fig10_metric_goals(scale, groups=ALL_GROUPS, workloads=None):
+def fig10_metric_goals(scale, groups=ALL_GROUPS, workloads=None,
+                       engine=None):
     """Hill-climbing with each feedback metric, evaluated under all three
     metrics; the paper's claim is that matched metric > mismatched."""
     eval_metrics = {
@@ -240,10 +254,11 @@ def fig10_metric_goals(scale, groups=ALL_GROUPS, workloads=None):
     factories = dict(baseline_factories())
     factories.update(learners)
     selected = workloads or select_workloads(groups, scale)
+    _prefetch(engine, selected, factories)
     # scores[eval_metric][policy] = list of values across workloads
     scores = {name: {} for name in eval_metrics}
     for workload in selected:
-        results = compare_policies(workload, factories, scale)
+        results = compare_policies(workload, factories, scale, engine=engine)
         for metric_name, metric in eval_metrics.items():
             for policy_name, result in results.items():
                 scores[metric_name].setdefault(policy_name, []).append(
@@ -377,10 +392,11 @@ def fig12_behaviors(scale, workloads=None):
 # Section 5 — phase detection/prediction extension
 # ---------------------------------------------------------------------------
 
-def sec5_phase_hill(scale, groups=ALL_GROUPS, workloads=None):
+def sec5_phase_hill(scale, groups=ALL_GROUPS, workloads=None, engine=None):
     """HILL vs PHASE-HILL; the paper reports a small overall boost
     concentrated in temporally-limited workloads."""
     selected = workloads or select_workloads(groups, scale)
+    _prefetch(engine, selected, ["HILL", "PHASE-HILL"])
     rows = []
     for workload in selected:
         factories = {
@@ -391,7 +407,7 @@ def sec5_phase_hill(scale, groups=ALL_GROUPS, workloads=None):
                 sample_period=scale.hill_sample_period,
             ),
         }
-        results = compare_policies(workload, factories, scale)
+        results = compare_policies(workload, factories, scale, engine=engine)
         rows.append((
             workload.name,
             workload.group,

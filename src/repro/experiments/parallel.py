@@ -1,0 +1,652 @@
+"""Parallel sweep engine with content-addressed on-disk result caching.
+
+Every figure/table of the paper reduces to an embarrassingly parallel grid
+of independent (workload, policy, seed) simulations — the same structure
+the thread-to-core allocation literature exploits by evaluating candidate
+allocations as independent trials.  This module fans that grid out over a
+:class:`concurrent.futures.ProcessPoolExecutor` and memoizes every cell in
+a content-addressed on-disk cache, so that
+
+* a sweep saturates however many cores the host has (``jobs=N``);
+* re-running a sweep after editing one policy re-simulates only the cells
+  whose cache keys changed (the key includes a per-policy code
+  fingerprint — see :func:`cache_key`);
+* a killed sweep resumes: completed cells return from the cache, and with
+  a ``resume_dir`` each in-flight cell checkpoints per epoch through
+  :func:`repro.reliability.guard.run_policy_resilient` and continues from
+  its last good epoch;
+* merged results are deterministic — cell order follows the *request*
+  order, never completion order, so ``jobs=4`` produces byte-identical
+  JSON to ``jobs=1`` (:func:`merged_json`).
+
+Progress is surfaced as a lightweight JSONL event stream (one object per
+line: sweep/cell lifecycle, done/cached/running counts, ETA, worker
+count) plus an optional ``on_event`` callback for interactive display.
+
+The cache directory defaults to ``$REPRO_CACHE_DIR`` or
+``~/.cache/repro-sweeps``; ``python -m repro cache info|clear`` inspects
+and empties it.  docs/PARALLEL.md documents the architecture, the key
+derivation and the invalidation rules.
+"""
+
+import hashlib
+import json
+import os
+import time
+from collections import namedtuple
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+
+from repro.experiments.export import _jsonable
+from repro.experiments.runner import RunResult, run_policy
+from repro.policies import BASELINE_POLICIES
+from repro.workloads.mixes import get_workload, workloads_in_group
+
+DEFAULT_POLICIES = ("ICOUNT", "FLUSH", "DCRA", "HILL")
+
+#: ``repro sweep --preset`` shorthands: (groups, policies) per figure grid.
+SWEEP_PRESETS = {
+    "fig4": (("ILP2", "MIX2", "MEM2"), ("ICOUNT", "FLUSH", "DCRA")),
+    "fig9": (("ILP2", "MIX2", "MEM2", "ILP4", "MIX4", "MEM4"),
+             ("ICOUNT", "FLUSH", "DCRA", "HILL")),
+    "fig10": (("ILP2", "MIX2", "MEM2", "ILP4", "MIX4", "MEM4"),
+              ("ICOUNT", "FLUSH", "DCRA",
+               "HILL-IPC", "HILL-WIPC", "HILL-HWIPC")),
+    "sec5": (("ILP2", "MIX2", "MEM2", "ILP4", "MIX4", "MEM4"),
+             ("HILL", "PHASE-HILL")),
+}
+
+
+# ----------------------------------------------------------------------
+# Policy specs: canonical names -> fresh policy instances
+# ----------------------------------------------------------------------
+
+_HILL_METRICS = ("IPC", "WIPC", "HWIPC")
+
+
+def canonical_policy(name):
+    """Normalize a policy spelling to its canonical sweep-cell form.
+
+    Baselines keep their registry name; hill climbers always carry their
+    metric suffix (``HILL`` -> ``HILL-WIPC``, ``PHASE-HILL`` ->
+    ``PHASE-HILL-WIPC``) so equivalent spellings share cache entries.
+    Raises :class:`ValueError` for unknown names.
+    """
+    upper = name.upper()
+    if upper in BASELINE_POLICIES:
+        return upper
+    for prefix in ("PHASE-HILL", "HILL"):
+        if upper == prefix:
+            return prefix + "-WIPC"
+        if upper.startswith(prefix + "-"):
+            suffix = upper[len(prefix) + 1:]
+            if suffix in _HILL_METRICS:
+                return prefix + "-" + suffix
+            break
+    raise ValueError(
+        "unknown policy %r (valid: %s, HILL[-IPC|-WIPC|-HWIPC], "
+        "PHASE-HILL[-IPC|-WIPC|-HWIPC])"
+        % (name, ", ".join(sorted(BASELINE_POLICIES))))
+
+
+def policy_factory(name, scale):
+    """Zero-argument factory for a policy name, with hill-climbing
+    overheads (software stall, sampling period) scaled to the experiment.
+
+    This is the single name-resolution point shared by the CLI and the
+    sweep workers; raises :class:`ValueError` for unknown names.
+    """
+    from repro.core.hill_climbing import HillClimbingPolicy
+    from repro.core.metrics import metric_by_name
+    from repro.core.phase_hill import PhaseHillPolicy
+
+    spec = canonical_policy(name)
+    if spec in BASELINE_POLICIES:
+        return BASELINE_POLICIES[spec]
+    cls = PhaseHillPolicy if spec.startswith("PHASE-") else HillClimbingPolicy
+    metric_name = spec.split("-")[-1].lower()
+    return lambda: cls(metric=metric_by_name(metric_name),
+                       software_cost=scale.hill_software_cost,
+                       sample_period=scale.hill_sample_period)
+
+
+# ----------------------------------------------------------------------
+# Sweep cells and cache keys
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid point: a (workload, policy, seed) simulation request."""
+
+    workload: str
+    policy: str          # canonical policy name (see canonical_policy)
+    seed: int = 0
+    epochs: int = None   # None: the scale's epoch count
+
+    @property
+    def label(self):
+        return "%s/%s/s%d" % (self.workload, self.policy, self.seed)
+
+
+def grid_cells(workloads=None, groups=None, policies=DEFAULT_POLICIES,
+               seeds=(0,), epochs=None, workloads_per_group=None):
+    """The cartesian sweep grid, workload-major, in deterministic order.
+
+    ``workloads`` (explicit names) and ``groups`` (Table 3 group names)
+    combine; with neither, all six groups are swept.
+    """
+    names = list(workloads or [])
+    for group in (groups if groups is not None
+                  else ([] if workloads else
+                        ("ILP2", "MIX2", "MEM2", "ILP4", "MIX4", "MEM4"))):
+        members = [w.name for w in workloads_in_group(group)]
+        if workloads_per_group is not None:
+            members = members[:workloads_per_group]
+        names.extend(members)
+    cells = []
+    for name in names:
+        get_workload(name)  # fail fast on unknown names
+        for policy in policies:
+            for seed in seeds:
+                cells.append(SweepCell(workload=name,
+                                       policy=canonical_policy(policy),
+                                       seed=seed, epochs=epochs))
+    return cells
+
+
+# -- code fingerprint ---------------------------------------------------
+
+#: Source files every cell depends on, relative to the ``repro`` package:
+#: the simulator substrate, the run machinery, and the default fetch
+#: policy (ICOUNT drives both default fetch priority and SingleIPC runs).
+_CORE_SOURCES = (
+    "pipeline", "memory", "branch", "workloads",
+    "core/controller.py", "core/metrics.py",
+    "policies/base.py", "policies/icount.py",
+    "experiments/runner.py",
+)
+
+#: Extra sources per policy family; editing one of these invalidates only
+#: that family's cells.
+_POLICY_SOURCES = {
+    "ICOUNT": (),
+    "FPG": ("policies/fpg.py",),
+    "STALL": ("policies/stall.py",),
+    "FLUSH": ("policies/flush.py",),
+    "STALL-FLUSH": ("policies/stall_flush.py", "policies/stall.py",
+                    "policies/flush.py"),
+    "DG": ("policies/dg.py",),
+    "PDG": ("policies/dg.py",),
+    "DCRA": ("policies/dcra.py",),
+    "STATIC": ("policies/static_partition.py",),
+    "HILL": ("core/hill_climbing.py",),
+    "PHASE-HILL": ("core/phase_hill.py", "core/hill_climbing.py", "phase"),
+}
+
+_fingerprint_memo = {}
+
+
+def _package_root():
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def _iter_source_files(root, rel):
+    path = os.path.join(root, rel)
+    if os.path.isfile(path):
+        yield rel, path
+        return
+    for dirpath, dirnames, filenames in os.walk(path):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                full = os.path.join(dirpath, name)
+                yield os.path.relpath(full, root), full
+
+
+def code_fingerprint(policy):
+    """Hash of the source files a policy's simulation depends on.
+
+    The fingerprint covers the simulator substrate plus the policy's own
+    module(s), so editing ``policies/dcra.py`` invalidates DCRA cells
+    only, while editing the pipeline invalidates everything.
+    """
+    family = canonical_policy(policy)
+    if family.startswith("PHASE-HILL"):
+        family = "PHASE-HILL"
+    elif family.startswith("HILL"):
+        family = "HILL"
+    memo = _fingerprint_memo.get(family)
+    if memo is not None:
+        return memo
+    root = _package_root()
+    digest = hashlib.sha256()
+    for rel in _CORE_SOURCES + _POLICY_SOURCES[family]:
+        for relpath, full in _iter_source_files(root, rel):
+            digest.update(relpath.encode())
+            with open(full, "rb") as handle:
+                digest.update(hashlib.sha256(handle.read()).digest())
+    value = digest.hexdigest()
+    _fingerprint_memo[family] = value
+    return value
+
+
+def clear_fingerprint_memo():
+    """Forget memoized fingerprints (tests edit sources mid-process)."""
+    _fingerprint_memo.clear()
+
+
+def cache_key(cell, scale):
+    """Content address of one cell's result.
+
+    The key hashes everything the simulation's outcome depends on: the
+    full machine configuration, the workload's benchmark profiles (their
+    parameters, not just their names), the canonical policy spec, the
+    seed, the epoch schedule (epoch size, epoch count, warmup), and the
+    relevant code fingerprint.  Anything else — job count, cache
+    location, event stream, resume state — deliberately stays out.
+    """
+    workload = get_workload(cell.workload)
+    payload = {
+        "config": _jsonable(scale.config),
+        "workload": cell.workload,
+        "profiles": [_jsonable(profile) for profile in workload.profiles],
+        "policy": cell.policy,
+        "seed": cell.seed,
+        "schedule": {
+            "epoch_size": scale.epoch_size,
+            "epochs": cell.epochs if cell.epochs is not None
+            else scale.epochs,
+            "warmup": scale.warmup,
+        },
+        "code": code_fingerprint(cell.policy),
+    }
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# On-disk result cache
+# ----------------------------------------------------------------------
+
+CacheStats = namedtuple("CacheStats", "entries bytes directory")
+
+
+def default_cache_dir():
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-sweeps``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-sweeps")
+
+
+class ResultCache:
+    """Content-addressed store of finished cell results.
+
+    Layout: ``<dir>/objects/<key[:2]>/<key>.json``, one JSON document per
+    cell holding the cell description (for ``cache info`` debugging) and
+    the :meth:`RunResult.to_dict` payload.  Writes are atomic
+    (write-to-temp + ``os.replace``); unreadable entries count as misses.
+    """
+
+    def __init__(self, directory=None):
+        self.directory = directory or default_cache_dir()
+        self.objects_dir = os.path.join(self.directory, "objects")
+
+    def _path(self, key):
+        return os.path.join(self.objects_dir, key[:2], key + ".json")
+
+    def get(self, key):
+        try:
+            with open(self._path(key)) as handle:
+                return RunResult.from_dict(json.load(handle)["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, key, cell, result):
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = json.dumps(
+            {"cell": _jsonable(cell), "result": result.to_dict()},
+            sort_keys=True)
+        tmp = path + ".tmp.%d" % os.getpid()
+        with open(tmp, "w") as handle:
+            handle.write(payload)
+        os.replace(tmp, path)
+
+    def _entries(self):
+        if not os.path.isdir(self.objects_dir):
+            return
+        for dirpath, dirnames, filenames in os.walk(self.objects_dir):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name.endswith(".json"):
+                    yield os.path.join(dirpath, name)
+
+    def info(self):
+        entries = 0
+        total = 0
+        for path in self._entries():
+            entries += 1
+            try:
+                total += os.path.getsize(path)
+            except OSError:
+                pass
+        return CacheStats(entries=entries, bytes=total,
+                          directory=self.directory)
+
+    def clear(self):
+        """Delete every cached result; returns the number removed."""
+        removed = 0
+        for path in list(self._entries()):
+            try:
+                os.remove(path)
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+# ----------------------------------------------------------------------
+# Workers (top-level: must be picklable by the process pool)
+# ----------------------------------------------------------------------
+
+
+def _execute_cell(cell, scale, resume_dir):
+    """Simulate one cell (runs inside a worker process).
+
+    With ``resume_dir`` the run goes through the PR 1 resilient runner:
+    per-epoch crash-safe checkpoints in a per-cell subdirectory, so a
+    killed sweep continues mid-cell.  The attached ``reliability`` report
+    is dropped before caching — it describes the *execution* (retries,
+    resume point), not the result, and would break the determinism
+    contract between fresh, resumed and cached runs.
+    """
+    workload = get_workload(cell.workload)
+    policy = policy_factory(cell.policy, scale)()
+    seeded = (scale if scale.seed == cell.seed
+              else scale.with_overrides(seed=cell.seed))
+    if resume_dir is not None:
+        from repro.reliability.guard import run_policy_resilient, run_slug
+
+        run_dir = os.path.join(
+            resume_dir, run_slug(cell.workload, cell.policy, cell.seed))
+        result = run_policy_resilient(
+            workload, policy, seeded, epochs=cell.epochs, run_dir=run_dir,
+            resume=True, sanitize_partitions=False)
+        resumed = bool(result.reliability
+                       and result.reliability.get("resumed_from") is not None)
+        result.reliability = None
+    else:
+        result = run_policy(workload, policy, seeded, epochs=cell.epochs)
+        resumed = False
+    return result, resumed
+
+
+def pool_map(fn, tasks, jobs=None):
+    """Order-preserving map over argument tuples, optionally fanned out
+    over a process pool (``jobs`` <= 1: plain serial calls, no pool).
+
+    The generic sibling of :class:`SweepEngine` for non-cell work
+    (Table 2 characterization, ablation points): ``fn`` must be a
+    top-level function and every argument picklable.
+    """
+    tasks = list(tasks)
+    if not jobs or jobs <= 1 or len(tasks) <= 1:
+        return [fn(*args) for args in tasks]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        futures = [pool.submit(fn, *args) for args in tasks]
+        return [future.result() for future in futures]
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+
+
+class SweepEngine:
+    """Runs sweep grids over a process pool with read-through caching.
+
+    Parameters
+    ----------
+    scale:
+        The :class:`~repro.experiments.runner.ExperimentScale` every cell
+        runs at (cells may override ``seed`` and ``epochs``).
+    jobs:
+        Worker processes.  ``1`` (default) runs cells in-process — the
+        reference serial order whose merged JSON parallel runs must
+        reproduce byte-for-byte.
+    cache_dir:
+        Result cache directory (default :func:`default_cache_dir`).
+        ``use_cache=False`` disables caching entirely.
+    events_path:
+        Optional JSONL file receiving one progress event per line.
+    on_event:
+        Optional callable receiving each event dict (for live display).
+    resume_dir:
+        Optional directory for per-cell crash-safe checkpoints; killed
+        sweeps resume mid-cell from here (see docs/PARALLEL.md).
+    """
+
+    def __init__(self, scale, jobs=1, cache_dir=None, events_path=None,
+                 on_event=None, resume_dir=None, use_cache=True):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.scale = scale
+        self.jobs = jobs
+        self.cache = ResultCache(cache_dir) if use_cache else None
+        self.events_path = events_path
+        if events_path is not None:
+            parent = os.path.dirname(events_path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+        self.on_event = on_event
+        self.resume_dir = resume_dir
+        self.stats = {"hits": 0, "misses": 0, "resumed": 0}
+        self._memory = {}
+
+    # -- events ----------------------------------------------------------
+
+    def _emit(self, event, **fields):
+        record = {"ts": round(time.time(), 3), "event": event}
+        record.update(fields)
+        if self.events_path is not None:
+            with open(self.events_path, "a") as handle:
+                handle.write(json.dumps(record) + "\n")
+        if self.on_event is not None:
+            self.on_event(record)
+
+    def _progress(self, done, cached, running, total, started_at,
+                  finished_live):
+        fields = {"done": done, "cached": cached, "running": running,
+                  "total": total, "workers": self.jobs}
+        if finished_live:
+            per_cell = (time.time() - started_at) / finished_live
+            remaining = total - done
+            fields["eta_s"] = round(
+                per_cell * remaining / max(1, min(self.jobs, remaining)), 1)
+        return fields
+
+    # -- execution -------------------------------------------------------
+
+    def run_cells(self, cells):
+        """Simulate a list of cells; returns results in *request order*.
+
+        Duplicate cells are simulated once.  Completed cells come from
+        the in-memory map, then the on-disk cache; the rest fan out over
+        the pool.  Event stream and statistics update as cells land.
+        """
+        cells = list(cells)
+        unique = list(dict.fromkeys(cells))
+        keys = {cell: cache_key(cell, self.scale) for cell in unique}
+        pending = []
+        cached = 0
+        for cell in unique:
+            if cell in self._memory:
+                cached += 1
+                continue
+            hit = self.cache.get(keys[cell]) if self.cache else None
+            if hit is not None:
+                self._memory[cell] = hit
+                self.stats["hits"] += 1
+                cached += 1
+                self._emit("cell-cached", cell=cell.label)
+            else:
+                self.stats["misses"] += 1
+                pending.append(cell)
+        started_at = time.time()
+        self._emit("sweep-start", total=len(unique), cached=cached,
+                   pending=len(pending), jobs=self.jobs)
+        if pending:
+            if self.jobs == 1:
+                self._run_serial(pending, cached, len(unique), started_at)
+            else:
+                self._run_pool(pending, cached, len(unique), started_at)
+        self._emit("sweep-done", total=len(unique), cached=cached,
+                   simulated=len(pending),
+                   wall_s=round(time.time() - started_at, 3))
+        return [self._memory[cell] for cell in cells]
+
+    def _store(self, cell, result, resumed):
+        if resumed:
+            self.stats["resumed"] += 1
+        if self.cache is not None:
+            self.cache.put(cache_key(cell, self.scale), cell, result)
+        self._memory[cell] = result
+
+    def _run_serial(self, pending, cached, total, started_at):
+        done = cached
+        for index, cell in enumerate(pending):
+            self._emit("cell-start", cell=cell.label,
+                       **self._progress(done, cached, 1, total, started_at,
+                                        index))
+            result, resumed = _execute_cell(cell, self.scale,
+                                            self.resume_dir)
+            self._store(cell, result, resumed)
+            done += 1
+            self._emit("cell-done", cell=cell.label, resumed=resumed,
+                       **self._progress(done, cached, 0, total, started_at,
+                                        index + 1))
+
+    def _run_pool(self, pending, cached, total, started_at):
+        done = cached
+        finished_live = 0
+        with ProcessPoolExecutor(max_workers=min(self.jobs,
+                                                 len(pending))) as pool:
+            futures = {}
+            for cell in pending:
+                futures[pool.submit(_execute_cell, cell, self.scale,
+                                    self.resume_dir)] = cell
+                self._emit("cell-start", cell=cell.label,
+                           **self._progress(done, cached, len(futures),
+                                            total, started_at,
+                                            finished_live))
+            outstanding = set(futures)
+            while outstanding:
+                finished, outstanding = wait(outstanding,
+                                             return_when=FIRST_COMPLETED)
+                for future in finished:
+                    cell = futures[future]
+                    result, resumed = future.result()
+                    self._store(cell, result, resumed)
+                    done += 1
+                    finished_live += 1
+                    self._emit(
+                        "cell-done", cell=cell.label, resumed=resumed,
+                        **self._progress(done, cached, len(outstanding),
+                                         total, started_at, finished_live))
+
+    # -- grid conveniences ----------------------------------------------
+
+    def sweep(self, workloads=None, groups=None, policies=DEFAULT_POLICIES,
+              seeds=None, epochs=None, workloads_per_group=None):
+        """Run a cartesian grid; returns (cells, results) in grid order."""
+        cells = grid_cells(
+            workloads=workloads, groups=groups, policies=policies,
+            seeds=seeds if seeds is not None else (self.scale.seed,),
+            epochs=epochs,
+            workloads_per_group=(workloads_per_group
+                                 if workloads_per_group is not None
+                                 else self.scale.workloads_per_group))
+        return cells, self.run_cells(cells)
+
+    def compare_policies(self, workload, policy_names, epochs=None):
+        """Drop-in for :func:`repro.experiments.runner.compare_policies`:
+        {requested name: RunResult} for one workload, read through the
+        cache/pool."""
+        cells = [SweepCell(workload=workload.name,
+                           policy=canonical_policy(name),
+                           seed=self.scale.seed, epochs=epochs)
+                 for name in policy_names]
+        return dict(zip(policy_names, self.run_cells(cells)))
+
+    def prefetch(self, workloads, policy_names, seeds=None, epochs=None):
+        """Warm the engine for a whole grid in one parallel pass, so
+        later per-workload :meth:`compare_policies` calls are lookups."""
+        self.sweep(workloads=[getattr(w, "name", w) for w in workloads],
+                   groups=[], policies=policy_names, seeds=seeds,
+                   epochs=epochs)
+
+
+# ----------------------------------------------------------------------
+# Deterministic merge
+# ----------------------------------------------------------------------
+
+
+def merged_document(cells, results, scale):
+    """The canonical merged form of one sweep: scale description plus one
+    record per cell *in request order* with the full result payload and
+    the three Section 3.1.1 metrics."""
+    records = []
+    for cell, result in zip(cells, results):
+        records.append({
+            "workload": cell.workload,
+            "policy": cell.policy,
+            "seed": cell.seed,
+            "epochs": cell.epochs if cell.epochs is not None
+            else scale.epochs,
+            "metrics": {
+                "avg_ipc": result.avg_ipc,
+                "weighted_ipc": result.weighted_ipc,
+                "harmonic_weighted_ipc": result.harmonic_weighted_ipc,
+            },
+            "result": result.to_dict(),
+        })
+    return {
+        "scale": {
+            "config": _jsonable(scale.config),
+            "epoch_size": scale.epoch_size,
+            "epochs": scale.epochs,
+            "warmup": scale.warmup,
+        },
+        "cells": records,
+    }
+
+
+def merged_json(cells, results, scale):
+    """Byte-stable JSON of a sweep: independent of job count, completion
+    order, caching, and resume history."""
+    return json.dumps(merged_document(cells, results, scale),
+                      indent=1, sort_keys=True) + "\n"
+
+
+__all__ = [
+    "CacheStats",
+    "DEFAULT_POLICIES",
+    "ResultCache",
+    "SWEEP_PRESETS",
+    "SweepCell",
+    "SweepEngine",
+    "cache_key",
+    "canonical_policy",
+    "clear_fingerprint_memo",
+    "code_fingerprint",
+    "default_cache_dir",
+    "grid_cells",
+    "merged_document",
+    "merged_json",
+    "policy_factory",
+    "pool_map",
+]

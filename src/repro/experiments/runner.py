@@ -330,13 +330,25 @@ def run_policy_multi(workload, policy_factory, scale, seeds=(0, 1, 2),
     return results, summary
 
 
-def compare_policies(workload, policy_factories, scale, epochs=None):
+def compare_policies(workload, policy_factories, scale, epochs=None,
+                     engine=None):
     """Run several policies on one workload.
 
     ``policy_factories`` maps display name -> zero-argument callable
     returning a fresh policy (policies are stateful, one per run).
     Returns {name: RunResult}.
+
+    With an ``engine`` (a :class:`~repro.experiments.parallel.SweepEngine`
+    built at the same scale), the runs go through the parallel sweep
+    layer instead: results come from the content-addressed cache when
+    available and fan out over the worker pool otherwise.  The factory
+    *names* must then be canonical policy specs (every name the CLI
+    accepts qualifies); the callables are ignored because workers rebuild
+    policies by name.
     """
+    if engine is not None:
+        return engine.compare_policies(workload, list(policy_factories),
+                                       epochs=epochs)
     results = {}
     for name, factory in policy_factories.items():
         results[name] = run_policy(workload, factory(), scale, epochs=epochs)

@@ -42,44 +42,51 @@ def _cache_row(cache):
         cache.latency)
 
 
-def table2_characteristics(scale, benchmarks=None, epochs=10):
+def _characterize_benchmark(name, scale, epochs):
+    """Measure one benchmark's Table 2 row (top-level: sweep workers pick
+    it up by reference through the process pool)."""
+    profile = PROFILES[name]
+    step = max(8, scale.config.rename_int // 8)
+    measured_rsc = resource_requirement(
+        profile, scale.config, seed=scale.seed,
+        warmup=scale.warmup, window=scale.epoch_size * 2, step=step,
+    )
+    # The series windows are instruction counts (phase-aligned across
+    # caps); size them to one generator phase period.  The finer grid
+    # (and a threshold of ~1.5 grid steps) separates real requirement
+    # swings from level-crossing jitter on shallow curves.
+    series_step = max(4, scale.config.rename_int // 16)
+    series = requirement_series(
+        profile, scale.config, seed=scale.seed,
+        warmup=4000, window=4000,
+        epochs=epochs, step=series_step, level=0.90,
+    )
+    measured_freq = derive_freq_label(
+        series, scale.config.rename_int, threshold=1.5 * series_step)
+    return {
+        "name": name,
+        "type": "%s %s" % ("FP" if profile.is_fp else "Int", profile.ctype),
+        "paper_rsc": profile.rsc_hint,
+        "measured_rsc": measured_rsc,
+        "paper_freq": profile.freq.value,
+        "measured_freq": measured_freq,
+    }
+
+
+def table2_characteristics(scale, benchmarks=None, epochs=10, jobs=None):
     """Re-derive the Table 2 "Rsc" and "Freq" columns on the scaled machine.
 
     Returns rows (name, type, paper Rsc hint, measured Rsc, paper Freq,
     measured Freq).  Absolute Rsc values differ from the paper's (different
     machine scale); the *ordering* (which benchmarks are resource-hungry)
-    is the reproduced claim.
+    is the reproduced claim.  ``jobs`` > 1 characterizes benchmarks in
+    parallel worker processes (each benchmark is independent).
     """
+    from repro.experiments.parallel import pool_map
+
     names = benchmarks or list(PROFILES)
-    rows = []
-    step = max(8, scale.config.rename_int // 8)
-    for name in names:
-        profile = PROFILES[name]
-        measured_rsc = resource_requirement(
-            profile, scale.config, seed=scale.seed,
-            warmup=scale.warmup, window=scale.epoch_size * 2, step=step,
-        )
-        # The series windows are instruction counts (phase-aligned across
-        # caps); size them to one generator phase period.  The finer grid
-        # (and a threshold of ~1.5 grid steps) separates real requirement
-        # swings from level-crossing jitter on shallow curves.
-        series_step = max(4, scale.config.rename_int // 16)
-        series = requirement_series(
-            profile, scale.config, seed=scale.seed,
-            warmup=4000, window=4000,
-            epochs=epochs, step=series_step, level=0.90,
-        )
-        measured_freq = derive_freq_label(
-            series, scale.config.rename_int, threshold=1.5 * series_step)
-        rows.append({
-            "name": name,
-            "type": "%s %s" % ("FP" if profile.is_fp else "Int", profile.ctype),
-            "paper_rsc": profile.rsc_hint,
-            "measured_rsc": measured_rsc,
-            "paper_freq": profile.freq.value,
-            "measured_freq": measured_freq,
-        })
-    return rows
+    return pool_map(_characterize_benchmark,
+                    [(name, scale, epochs) for name in names], jobs=jobs)
 
 
 def table3_workloads():
