@@ -1,0 +1,323 @@
+"""Policy-contract checker: every ``ResourcePolicy`` subclass must play
+by the hook API declared in ``policies/base.py`` (rules PC201–PC204).
+
+The base class is parsed (never imported) to extract the hook catalogue —
+method names and positional arities — so the checker tracks the real
+contract automatically.  Subclasses are discovered package-wide by
+resolving class bases through each module's imports, transitively
+(``PhaseHillPolicy(HillClimbingPolicy)`` counts because
+``HillClimbingPolicy(ResourcePolicy)`` does).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+
+from repro.analysis.lint.findings import Finding, allowed_codes
+
+__all__ = ["BaseContract", "check_tree", "parse_base_contract"]
+
+#: Method-name shapes reserved for controller hooks.
+_HOOK_PREFIXES = ("on_", "plan_", "fetch_")
+
+
+@dataclass(frozen=True)
+class _Hook:
+    name: str
+    arity: int                  # positional parameters, including self
+    params: tuple[str, ...]     # positional parameter names
+
+
+@dataclass(frozen=True)
+class BaseContract:
+    """The hook API extracted from the policy base class."""
+
+    module_rel: str
+    class_name: str
+    hooks: dict[str, _Hook]
+    class_attrs: frozenset[str]   # sanctioned overridable class attributes
+
+    def is_hook_shaped(self, name: str) -> bool:
+        if name.startswith("_"):
+            return False
+        return name == "attach" or name.startswith(_HOOK_PREFIXES)
+
+
+def _positional_params(args: ast.arguments) -> tuple[str, ...]:
+    return tuple(arg.arg for arg in args.posonlyargs + args.args)
+
+
+def parse_base_contract(root: str, module_rel: str,
+                        class_name: str) -> BaseContract:
+    """Extract the hook catalogue from the base class definition."""
+    with open(os.path.join(root, module_rel), encoding="utf-8") as handle:
+        tree = ast.parse(handle.read(), filename=module_rel)
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            hooks: dict[str, _Hook] = {}
+            attrs: set[str] = set()
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef) \
+                        and not item.name.startswith("__"):
+                    params = _positional_params(item.args)
+                    hooks[item.name] = _Hook(item.name, len(params), params)
+                elif isinstance(item, ast.Assign):
+                    for target in item.targets:
+                        if isinstance(target, ast.Name):
+                            attrs.add(target.id)
+                elif isinstance(item, ast.AnnAssign) \
+                        and isinstance(item.target, ast.Name):
+                    attrs.add(item.target.id)
+            return BaseContract(module_rel=module_rel, class_name=class_name,
+                                hooks=hooks, class_attrs=frozenset(attrs))
+    raise ValueError("class %s not found in %s" % (class_name, module_rel))
+
+
+# ----------------------------------------------------------------------
+# Subclass discovery
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _ClassInfo:
+    rel: str
+    node: ast.ClassDef
+    bases: tuple[str, ...]   # resolved "module_rel:ClassName" or bare name
+
+
+def _collect_classes(root: str,
+                     rels: tuple[str, ...]) -> dict[str, _ClassInfo]:
+    """{module_rel:ClassName -> info} with bases resolved through each
+    module's imports where possible."""
+    classes: dict[str, _ClassInfo] = {}
+    for rel in rels:
+        with open(os.path.join(root, rel), encoding="utf-8") as handle:
+            tree = ast.parse(handle.read(), filename=rel)
+        # name -> qualified "module.path:Class" hints from imports
+        imported: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    imported[alias.asname or alias.name] = \
+                        "%s:%s" % (node.module, alias.name)
+        local_names = {n.name for n in tree.body
+                       if isinstance(n, ast.ClassDef)}
+        for node in tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = []
+            for base in node.bases:
+                if isinstance(base, ast.Name):
+                    if base.id in local_names:
+                        bases.append("%s:%s" % (rel, base.id))
+                    elif base.id in imported:
+                        bases.append(imported[base.id])
+                    else:
+                        bases.append(base.id)
+                elif isinstance(base, ast.Attribute):
+                    chain = []
+                    cur: ast.expr = base
+                    while isinstance(cur, ast.Attribute):
+                        chain.append(cur.attr)
+                        cur = cur.value
+                    if isinstance(cur, ast.Name):
+                        chain.append(cur.id)
+                        chain.reverse()
+                        bases.append("%s:%s" % (".".join(chain[:-1]),
+                                                chain[-1]))
+            classes["%s:%s" % (rel, node.name)] = _ClassInfo(
+                rel=rel, node=node, bases=tuple(bases))
+    return classes
+
+
+def _module_key(rel: str) -> str:
+    """``policies/base.py`` -> dotted suffix ``policies.base``."""
+    return rel[:-3].replace("/", ".") if rel.endswith(".py") else rel
+
+
+def _module_matches(module: str, rel: str) -> bool:
+    """Does a dotted module reference plausibly name the file ``rel``?
+
+    Handles absolute (``repro.policies.base``), package-relative
+    (``policies.base``) and relative (``base``) spellings with
+    dot-boundary suffix matching.
+    """
+    key = _module_key(rel)
+    return (module == key or module == rel
+            or module.endswith("." + key)
+            or key.endswith("." + module))
+
+
+def _find_subclasses(classes: dict[str, _ClassInfo], base_rel: str,
+                     base_class: str) -> dict[str, _ClassInfo]:
+    """Transitive subclasses of the base class, by fixpoint iteration."""
+
+    def matches_base(ref: str, members: set[str]) -> bool:
+        if ":" not in ref:
+            return False  # bare name that resolved to nothing known
+        module, name = ref.rsplit(":", 1)
+        if name == base_class and _module_matches(module, base_rel):
+            return True
+        # reference to an already-known subclass
+        for key in members:
+            krel, kname = key.rsplit(":", 1)
+            if kname == name and (module == krel
+                                  or _module_matches(module, krel)):
+                return True
+        return False
+
+    members: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for key, info in classes.items():
+            if key in members:
+                continue
+            if any(matches_base(ref, members) for ref in info.bases):
+                members.add(key)
+                changed = True
+    return {key: classes[key] for key in sorted(members)}
+
+
+# ----------------------------------------------------------------------
+# Checks
+# ----------------------------------------------------------------------
+
+
+class _PrivateWriteScanner(ast.NodeVisitor):
+    """Flags assignments to underscore attributes reached from a given
+    parameter name (the processor / shared-resources argument)."""
+
+    def __init__(self, param: str) -> None:
+        self.param = param
+        self.hits: list[tuple[int, str]] = []
+
+    def _private_chain(self, node: ast.expr) -> str | None:
+        """Dotted description when the target is rooted at the parameter
+        and contains a private attribute segment; else None."""
+        parts: list[str] = []
+        private = False
+        cur = node
+        while True:
+            if isinstance(cur, ast.Attribute):
+                parts.append(cur.attr)
+                if cur.attr.startswith("_"):
+                    private = True
+                cur = cur.value
+            elif isinstance(cur, ast.Subscript):
+                parts.append("[...]")
+                cur = cur.value
+            elif isinstance(cur, ast.Name):
+                if cur.id == self.param and private:
+                    parts.append(cur.id)
+                    parts.reverse()
+                    return ".".join(parts).replace(".[...]", "[...]")
+                return None
+            else:
+                return None
+
+    def _check_target(self, target: ast.expr, lineno: int) -> None:
+        if isinstance(target, ast.Attribute):
+            described = self._private_chain(target)
+            if described is not None:
+                self.hits.append((lineno, described))
+        elif isinstance(target, ast.Subscript):
+            # a store into e.g. ``proc.stats._counts["x"]``
+            self._check_target(target.value, lineno)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_target(element, lineno)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target, node.lineno)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target, node.lineno)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_target(node.target, node.lineno)
+        self.generic_visit(node)
+
+
+def _check_class(info: _ClassInfo, contract: BaseContract,
+                 lines: list[str]) -> list[Finding]:
+    findings: list[Finding] = []
+
+    def allowed(lineno: int) -> frozenset[str]:
+        if 1 <= lineno <= len(lines):
+            return allowed_codes(lines[lineno - 1])
+        return frozenset()
+
+    def report(code: str, lineno: int, message: str) -> None:
+        if code not in allowed(lineno):
+            findings.append(Finding(rule=code, path=info.rel, line=lineno,
+                                    message=message))
+
+    for item in info.node.body:
+        if isinstance(item, ast.FunctionDef):
+            name = item.name
+            hook = contract.hooks.get(name)
+            is_property = any(
+                isinstance(dec, ast.Name) and dec.id == "property"
+                for dec in item.decorator_list)
+            if hook is None and contract.is_hook_shaped(name) \
+                    and not is_property \
+                    and name not in contract.class_attrs:
+                report("PC201", item.lineno,
+                       "%s.%s() looks like a controller hook but %s "
+                       "declares no such hook — typo? (hooks: %s)"
+                       % (info.node.name, name, contract.class_name,
+                          ", ".join(sorted(contract.hooks))))
+            elif hook is not None and not is_property:
+                if item.args.vararg is None:
+                    params = _positional_params(item.args)
+                    if len(params) != hook.arity:
+                        report("PC202", item.lineno,
+                               "%s.%s() takes %d positional parameter(s) "
+                               "but the base hook declares %d (%s)"
+                               % (info.node.name, name, len(params),
+                                  hook.arity, ", ".join(hook.params)))
+                        continue
+                # private writes through the hook's proc-like params
+                for index, base_param in enumerate(hook.params):
+                    if base_param == "self" or item.args.vararg is not None:
+                        continue
+                    override_params = _positional_params(item.args)
+                    if index >= len(override_params):
+                        continue
+                    scanner = _PrivateWriteScanner(override_params[index])
+                    for statement in item.body:
+                        scanner.visit(statement)
+                    for lineno, described in scanner.hits:
+                        report("PC203", lineno,
+                               "%s.%s() writes private attribute `%s` — "
+                               "use the sanctioned policy API instead"
+                               % (info.node.name, name, described))
+        elif isinstance(item, ast.Assign):
+            for target in item.targets:
+                if isinstance(target, ast.Name) \
+                        and target.id in contract.hooks:
+                    report("PC204", item.lineno,
+                           "%s.%s is assigned a non-function value, "
+                           "shadowing the base hook"
+                           % (info.node.name, target.id))
+    return findings
+
+
+def check_tree(root: str, rels: tuple[str, ...], base_rel: str,
+               base_class: str) -> list[Finding]:
+    """Contract findings for every subclass of the base policy class
+    found in ``rels`` (package-relative files under ``root``)."""
+    contract = parse_base_contract(root, base_rel, base_class)
+    classes = _collect_classes(root, rels)
+    findings: list[Finding] = []
+    for info in _find_subclasses(classes, base_rel, base_class).values():
+        with open(os.path.join(root, info.rel), encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        findings.extend(_check_class(info, contract, lines))
+    return findings

@@ -1,0 +1,154 @@
+"""``repro lint`` orchestration: bind the three static-analysis passes
+to the real ``repro`` package and render findings.
+
+* fingerprint coverage auditor  (FP1xx codes — :mod:`.fingerprints`)
+* determinism linter            (ND1xx codes — :mod:`.determinism`)
+* policy-contract checker       (PC2xx codes — :mod:`.contracts`)
+
+The determinism scope is derived, not hand-picked: every file any
+family's fingerprint hashes (closures plus explicit source entries) must
+be deterministic, because those are exactly the files whose behaviour is
+memoized by the result cache.
+
+Also usable as a library (the self-check tests call :func:`run_repo_lint`
+directly) and parameterizable over fixture trees via the pass modules.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable
+
+from repro.analysis.lint import contracts, determinism, fingerprints
+from repro.analysis.lint.findings import RULES, Finding, rule_doc
+from repro.analysis.lint.importgraph import ImportGraph, build_graph
+
+__all__ = [
+    "PASSES",
+    "explain",
+    "filter_findings",
+    "package_root",
+    "render_json",
+    "render_text",
+    "repo_spec",
+    "run_repo_lint",
+]
+
+#: Where the policy hook contract is declared.
+BASE_POLICY_MODULE = "policies/base.py"
+BASE_POLICY_CLASS = "ResourcePolicy"
+
+
+def package_root() -> str:
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def repo_spec() -> fingerprints.FingerprintSpec:
+    """The live fingerprint configuration from the sweep engine."""
+    from repro.experiments import parallel
+
+    return fingerprints.FingerprintSpec(
+        core_entries=tuple(parallel._CORE_ENTRIES),
+        core_sources=tuple(parallel._CORE_SOURCES),
+        family_entries={family: tuple(entries) for family, entries
+                        in parallel._FAMILY_ENTRIES.items()},
+        family_sources={family: tuple(sources) for family, sources
+                        in parallel._POLICY_SOURCES.items()},
+    )
+
+
+def determinism_scope(graph: ImportGraph,
+                      spec: fingerprints.FingerprintSpec) -> tuple[str, ...]:
+    """Every file whose content is hashed into some cache key."""
+    scope: set[str] = set()
+    file_set = set(graph.files)
+    for family, entries in spec.family_entries.items():
+        roots = spec.core_entries + entries
+        if all(rel in file_set for rel in roots):
+            scope.update(graph.closure(roots))
+    for entry in spec.core_sources + tuple(
+            rel for sources in spec.family_sources.values()
+            for rel in sources):
+        if entry in file_set:
+            scope.add(entry)
+        else:
+            prefix = entry.rstrip("/") + "/"
+            scope.update(rel for rel in graph.files
+                         if rel.startswith(prefix))
+    return tuple(sorted(scope))
+
+
+def _fingerprint_pass(root: str, graph: ImportGraph) -> list[Finding]:
+    return fingerprints.audit_fingerprints(graph, repo_spec())
+
+
+def _determinism_pass(root: str, graph: ImportGraph) -> list[Finding]:
+    return determinism.scan_tree(root, determinism_scope(graph, repo_spec()))
+
+
+def _contract_pass(root: str, graph: ImportGraph) -> list[Finding]:
+    return contracts.check_tree(root, graph.files, BASE_POLICY_MODULE,
+                                BASE_POLICY_CLASS)
+
+
+PASSES: dict[str, Callable[[str, ImportGraph], list[Finding]]] = {
+    "fingerprints": _fingerprint_pass,
+    "determinism": _determinism_pass,
+    "contracts": _contract_pass,
+}
+
+
+def filter_findings(findings: list[Finding],
+                    select: tuple[str, ...] = (),
+                    ignore: tuple[str, ...] = ()) -> list[Finding]:
+    """Keep findings whose code starts with a ``select`` prefix (all, if
+    empty) and no ``ignore`` prefix.  ``FP``/``ND1``/``PC203`` all work."""
+    kept = []
+    for finding in findings:
+        if select and not any(finding.rule.startswith(prefix)
+                              for prefix in select):
+            continue
+        if any(finding.rule.startswith(prefix) for prefix in ignore):
+            continue
+        kept.append(finding)
+    return kept
+
+
+def run_repo_lint(select: tuple[str, ...] = (),
+                  ignore: tuple[str, ...] = (),
+                  root: str | None = None) -> list[Finding]:
+    """All three passes over the installed ``repro`` package."""
+    root = root if root is not None else package_root()
+    graph = build_graph(root, "repro")
+    findings: list[Finding] = []
+    for runner in PASSES.values():
+        findings.extend(runner(root, graph))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return filter_findings(findings, select, ignore)
+
+
+def render_text(findings: list[Finding]) -> str:
+    if not findings:
+        return "repro lint: clean (%d rules, passes: %s)" % (
+            len(RULES), ", ".join(PASSES))
+    lines = [finding.render() for finding in findings]
+    errors = sum(1 for f in findings if f.severity == "error")
+    warnings = len(findings) - errors
+    lines.append("repro lint: %d finding(s) (%d error(s), %d warning(s))"
+                 % (len(findings), errors, warnings))
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding]) -> str:
+    return json.dumps({
+        "clean": not findings,
+        "findings": [finding.to_dict() for finding in findings],
+    }, indent=1, sort_keys=True) + "\n"
+
+
+def explain(code: str) -> str:
+    """``--explain`` text for a rule code (KeyError when unknown)."""
+    return rule_doc(code)

@@ -1,0 +1,227 @@
+"""Fingerprint coverage auditor (rules FP001–FP006).
+
+The sweep cache (:mod:`repro.experiments.parallel`) keys every cell on a
+code fingerprint computed from ``_CORE_SOURCES`` plus the cell's policy
+family entry in ``_POLICY_SOURCES``.  Those lists are hand-maintained —
+one forgotten module means a source edit that changes results silently
+keeps serving stale cached IPC numbers.
+
+This pass makes the lists *provably sufficient*: it computes each
+family's transitive import closure (family entry modules plus the shared
+run machinery, over the :mod:`~repro.analysis.lint.importgraph` graph)
+and fails when the closure contains a file the fingerprint would not
+hash.  Over-coverage is safe (it only widens invalidation), so explicit
+directory entries are treated as deliberate bulk coverage and only
+unreachable *file* entries are warned about.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.analysis.lint.findings import Finding, allowed_codes
+from repro.analysis.lint.importgraph import ImportEdge, ImportGraph
+
+__all__ = ["FingerprintSpec", "audit_fingerprints"]
+
+
+@dataclass(frozen=True)
+class FingerprintSpec:
+    """The fingerprint configuration under audit (package-relative
+    paths; sources may be files or directories)."""
+
+    core_entries: tuple[str, ...]
+    core_sources: tuple[str, ...]
+    family_entries: dict[str, tuple[str, ...]]
+    family_sources: dict[str, tuple[str, ...]]
+    #: where the lists live, for finding locations
+    spec_path: str = "experiments/parallel.py"
+
+
+def _expand(graph: ImportGraph, entry: str) -> tuple[frozenset[str], bool]:
+    """(files covered by one source entry, is_directory)."""
+    if entry in set(graph.files):
+        return frozenset({entry}), False
+    prefix = entry.rstrip("/") + "/"
+    members = frozenset(rel for rel in graph.files
+                        if rel.startswith(prefix))
+    return members, True
+
+
+def _source_line(graph: ImportGraph, edge: ImportEdge) -> str:
+    try:
+        with open(os.path.join(graph.root, edge.src),
+                  encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        if 1 <= edge.lineno <= len(lines):
+            return lines[edge.lineno - 1]
+    except OSError:
+        pass
+    return ""
+
+
+def _witness(graph: ImportGraph, closure: frozenset[str],
+             entries: tuple[str, ...], missing: str) -> str:
+    """A human-readable reason why ``missing`` is in the closure."""
+    if missing in entries:
+        return "a fingerprint entry module"
+    for edge in graph.edges:
+        if edge.dst == missing and edge.src in closure \
+                and edge.dispatch is None \
+                and not edge.src.endswith("__init__.py"):
+            return "imported by %s:%d" % (edge.src, edge.lineno)
+    return "executed as a package __init__ of a closure module"
+
+
+def audit_fingerprints(graph: ImportGraph,
+                       spec: FingerprintSpec) -> list[Finding]:
+    findings: list[Finding] = []
+    file_set = set(graph.files)
+
+    # -- FP003: entries must exist --------------------------------------
+    def check_exists(entry: str, owner: str) -> bool:
+        covered, is_dir = _expand(graph, entry)
+        if not covered:
+            findings.append(Finding(
+                rule="FP003", path=spec.spec_path, line=1,
+                message="%s lists %r which matches no file under the "
+                        "package root" % (owner, entry)))
+            return False
+        return True
+
+    core_cover: set[str] = set()
+    core_file_entries: list[str] = []
+    for entry in spec.core_sources:
+        if check_exists(entry, "_CORE_SOURCES"):
+            covered, is_dir = _expand(graph, entry)
+            core_cover.update(covered)
+            if not is_dir:
+                core_file_entries.append(entry)
+
+    family_cover: dict[str, set[str]] = {}
+    family_file_entries: dict[str, list[str]] = {}
+    for family, sources in spec.family_sources.items():
+        family_cover[family] = set()
+        family_file_entries[family] = []
+        for entry in sources:
+            if check_exists(entry, "_POLICY_SOURCES[%r]" % family):
+                covered, is_dir = _expand(graph, entry)
+                family_cover[family].update(covered)
+                if not is_dir:
+                    family_file_entries[family].append(entry)
+
+    # -- FP004: the family maps must agree ------------------------------
+    source_families = set(spec.family_sources)
+    entry_families = set(spec.family_entries)
+    for family in sorted(source_families ^ entry_families):
+        where = "_POLICY_SOURCES" if family in source_families \
+            else "_FAMILY_ENTRIES"
+        findings.append(Finding(
+            rule="FP004", path=spec.spec_path, line=1,
+            message="family %r appears only in %s — the maps must "
+                    "declare the same families" % (family, where)))
+    for family in sorted(source_families & entry_families):
+        for entry in spec.family_entries[family]:
+            if entry not in file_set:
+                findings.append(Finding(
+                    rule="FP004", path=spec.spec_path, line=1,
+                    message="_FAMILY_ENTRIES[%r] names missing module %r"
+                            % (family, entry)))
+            elif entry not in family_cover[family] \
+                    and entry not in core_cover:
+                findings.append(Finding(
+                    rule="FP004", path=spec.spec_path, line=1,
+                    message="_FAMILY_ENTRIES[%r] module %r is hashed by "
+                            "neither _CORE_SOURCES nor its own source "
+                            "list" % (family, entry)))
+
+    # -- closures and FP001 ---------------------------------------------
+    closures: dict[str, frozenset[str]] = {}
+    family_roots: dict[str, tuple[str, ...]] = {}
+    missing_for: dict[str, list[str]] = {}
+    core_closure: frozenset[str] = frozenset()
+    if spec.core_entries \
+            and all(entry in file_set for entry in spec.core_entries):
+        core_closure = graph.closure(spec.core_entries)
+    for family in sorted(source_families & entry_families):
+        entries = spec.core_entries + spec.family_entries[family]
+        if any(entry not in file_set for entry in entries):
+            continue  # already reported via FP003/FP004
+        closure = graph.closure(entries)
+        closures[family] = closure
+        family_roots[family] = entries
+        covered = core_cover | family_cover[family]
+        for rel in sorted(closure - covered):
+            missing_for.setdefault(rel, []).append(family)
+    for rel in sorted(missing_for):
+        families = missing_for[rel]
+        closure = closures[families[0]]
+        label = "families %s" % ", ".join(families) \
+            if len(families) > 1 else "family %s" % families[0]
+        findings.append(Finding(
+            rule="FP001", path=rel, line=1,
+            message="in the import closure of %s (%s) but missing from "
+                    "_CORE_SOURCES/_POLICY_SOURCES — edits here would "
+                    "not invalidate cached results"
+                    % (label, _witness(graph, closure,
+                                       family_roots[families[0]], rel))))
+    if not closures and core_closure:
+        # no (auditable) families: audit the core closure on its own
+        for rel in sorted(core_closure - core_cover):
+            findings.append(Finding(
+                rule="FP001", path=rel, line=1,
+                message="in the core import closure (%s) but missing "
+                        "from _CORE_SOURCES — edits here would not "
+                        "invalidate cached results"
+                        % _witness(graph, core_closure,
+                                   spec.core_entries, rel)))
+
+    # -- FP002: unreachable explicit file entries (warnings) ------------
+    all_closures: set[str] = set(core_closure)
+    for closure in closures.values():
+        all_closures.update(closure)
+    for entry in core_file_entries:
+        if all_closures and entry not in all_closures:
+            findings.append(Finding(
+                rule="FP002", path=entry, line=1, severity="warning",
+                message="listed in _CORE_SOURCES but reached by no "
+                        "family's import closure — stale entry?"))
+    for family in sorted(family_file_entries):
+        if family not in closures:
+            continue
+        for entry in family_file_entries[family]:
+            if entry not in closures[family]:
+                findings.append(Finding(
+                    rule="FP002", path=entry, line=1, severity="warning",
+                    message="listed in _POLICY_SOURCES[%r] but outside "
+                            "that family's import closure — stale "
+                            "entry?" % family))
+
+    # -- FP005 / FP006: edge hygiene ------------------------------------
+    for edge in graph.edges:
+        if edge.dispatch is not None:
+            sources = spec.family_sources.get(edge.dispatch)
+            entries = spec.family_entries.get(edge.dispatch, ())
+            if sources is None:
+                findings.append(Finding(
+                    rule="FP006", path=edge.src, line=edge.lineno,
+                    message="dispatch marker names unknown family %r"
+                            % edge.dispatch))
+                continue
+            covered = family_cover.get(edge.dispatch, set())
+            if edge.dst not in covered and edge.dst not in entries:
+                findings.append(Finding(
+                    rule="FP006", path=edge.src, line=edge.lineno,
+                    message="dispatch[%s] import of %s is not covered "
+                            "by that family's fingerprint sources"
+                            % (edge.dispatch, edge.dst)))
+        elif edge.via_init and edge.src in all_closures \
+                and not edge.src.endswith("__init__.py"):
+            if "FP005" not in allowed_codes(_source_line(graph, edge)):
+                findings.append(Finding(
+                    rule="FP005", path=edge.src, line=edge.lineno,
+                    message="imports %r through %s — import the "
+                            "defining module directly so the closure "
+                            "can see it" % (edge.symbol, edge.dst)))
+    return findings

@@ -1,0 +1,256 @@
+"""Static import graph of a Python package (stdlib ``ast`` only).
+
+Builds a file-level import graph without executing any code: every
+``import`` / ``from ... import`` statement in every module of the package
+becomes an edge to the module file it resolves to (imports of external
+packages are ignored).  The graph is the substrate of the fingerprint
+auditor and of the ``REPRO_FINGERPRINT_MODE=graph`` cache-key mode, so
+its semantics are deliberately conservative:
+
+* **Function-level (lazy) imports count.**  A module imported inside a
+  function still runs that module's code when the function executes, so
+  it can affect results exactly like a top-level import.
+* **``from pkg import name``** resolves to the module ``pkg/name.py``
+  when one exists; otherwise it is a *symbol* import through
+  ``pkg/__init__.py`` and the edge targets the ``__init__`` file with
+  ``via_init=True`` (the fingerprint auditor rejects those in
+  results-affecting code — rule FP005 — because re-export chains are not
+  chased).
+* **Package ``__init__`` files are included but not traversed.**
+  Importing ``repro.a.b`` executes ``repro/__init__.py`` and
+  ``repro/a/__init__.py``, so closures include every ancestor
+  ``__init__`` *file*; their out-edges are re-export/registry wiring and
+  are not followed (symbol imports through them are policed by FP005
+  instead).
+* **``# repro: dispatch[FAMILY]``** on an import line marks a per-family
+  dispatch point (e.g. the sweep worker importing one policy family's
+  module).  Dispatch edges are excluded from every closure — the named
+  family's own fingerprint covers the target — and the auditor verifies
+  that claim (rule FP006).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+
+from repro.analysis.lint.findings import DISPATCH_RE
+
+__all__ = ["ImportEdge", "ImportGraph", "build_graph", "closure_files"]
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One import statement resolved inside the package."""
+
+    src: str           # module file, relative to the package root
+    dst: str           # target module file, relative to the package root
+    lineno: int
+    lazy: bool         # statement sits inside a function body
+    via_init: bool     # symbol import resolved to a package __init__.py
+    dispatch: str | None  # family tag from ``# repro: dispatch[FAM]``
+    symbol: str | None    # imported name for ``from mod import name``
+
+
+class ImportGraph:
+    """File-level import graph of one package tree."""
+
+    def __init__(self, root: str, package: str, files: tuple[str, ...],
+                 edges: tuple[ImportEdge, ...]) -> None:
+        self.root = root          # directory containing the package source
+        self.package = package    # top-level package name, e.g. "repro"
+        self.files = files        # every module file, package-relative
+        self.edges = edges
+        self._file_set = frozenset(files)
+        self._out: dict[str, list[ImportEdge]] = {}
+        for edge in edges:
+            self._out.setdefault(edge.src, []).append(edge)
+
+    def edges_from(self, rel: str) -> tuple[ImportEdge, ...]:
+        return tuple(self._out.get(rel, ()))
+
+    def ancestor_inits(self, rel: str) -> tuple[str, ...]:
+        """Every package ``__init__.py`` executed when ``rel`` is
+        imported (outermost first), excluding ``rel`` itself."""
+        inits = []
+        parts = rel.split("/")[:-1]
+        for depth in range(len(parts) + 1):
+            init = "/".join(parts[:depth] + ["__init__.py"]) \
+                if depth else "__init__.py"
+            if init != rel and init in self._file_set:
+                inits.append(init)
+        return tuple(inits)
+
+    def closure(self, entries: tuple[str, ...]) -> frozenset[str]:
+        """Transitive results-affecting closure from entry files.
+
+        Follows every non-dispatch edge; includes (but never traverses
+        out of) ``__init__`` files; includes every visited file's
+        ancestor ``__init__`` files.
+        """
+        seen: set[str] = set()
+        stack = [rel for rel in entries]
+        while stack:
+            rel = stack.pop()
+            if rel in seen:
+                continue
+            seen.add(rel)
+            for init in self.ancestor_inits(rel):
+                if init not in seen:
+                    seen.add(init)
+            if os.path.basename(rel) == "__init__.py":
+                continue  # registry/re-export wiring: file only
+            for edge in self.edges_from(rel):
+                if edge.dispatch is not None:
+                    continue  # covered by the named family's fingerprint
+                if edge.dst not in seen:
+                    stack.append(edge.dst)
+        return frozenset(seen)
+
+
+def _module_files(root: str) -> tuple[str, ...]:
+    files = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                full = os.path.join(dirpath, name)
+                files.append(os.path.relpath(full, root).replace(os.sep, "/"))
+    return tuple(files)
+
+
+def _rel_to_module(rel: str, package: str) -> str:
+    """``experiments/parallel.py`` -> ``repro.experiments.parallel``."""
+    if rel.endswith("/__init__.py"):
+        rel = rel[: -len("/__init__.py")]
+    elif rel == "__init__.py":
+        return package
+    elif rel.endswith(".py"):
+        rel = rel[:-3]
+    return package + "." + rel.replace("/", ".")
+
+
+def _module_to_rel(module: str, package: str,
+                   files: frozenset[str]) -> str | None:
+    """Dotted module name -> package-relative file, if it is ours."""
+    if module != package and not module.startswith(package + "."):
+        return None
+    sub = module[len(package):].lstrip(".")
+    candidate = (sub.replace(".", "/") + ".py") if sub else "__init__.py"
+    if candidate in files:
+        return candidate
+    init = (sub.replace(".", "/") + "/__init__.py") if sub \
+        else "__init__.py"
+    if init in files:
+        return init
+    return None
+
+
+class _ImportCollector(ast.NodeVisitor):
+    """Collects resolved import edges for one module file."""
+
+    def __init__(self, rel: str, module: str, package: str,
+                 files: frozenset[str], lines: list[str]) -> None:
+        self.rel = rel
+        self.module = module
+        self.package = package
+        self.files = files
+        self.lines = lines
+        self.depth = 0  # function nesting
+        self.edges: list[ImportEdge] = []
+
+    # -- function nesting (lazy detection) ------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.depth += 1
+        self.generic_visit(node)
+        self.depth -= 1
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.depth += 1
+        self.generic_visit(node)
+        self.depth -= 1
+
+    # -- edges -----------------------------------------------------------
+
+    def _dispatch_tag(self, lineno: int) -> str | None:
+        if 1 <= lineno <= len(self.lines):
+            match = DISPATCH_RE.search(self.lines[lineno - 1])
+            if match is not None:
+                return match.group(1)
+        return None
+
+    def _add(self, node: ast.stmt, module: str, via_init: bool,
+             symbol: str | None) -> None:
+        dst = _module_to_rel(module, self.package, self.files)
+        if dst is None:
+            return
+        resolved_via_init = via_init or (
+            symbol is not None and dst.endswith("__init__.py"))
+        self.edges.append(ImportEdge(
+            src=self.rel, dst=dst, lineno=node.lineno,
+            lazy=self.depth > 0, via_init=resolved_via_init,
+            dispatch=self._dispatch_tag(node.lineno), symbol=symbol))
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._add(node, alias.name, via_init=False, symbol=None)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level:  # relative import: resolve against our package
+            if self.rel.endswith("__init__.py"):
+                pkg_parts = self.module.split(".")
+            else:
+                pkg_parts = self.module.split(".")[:-1]
+            drop = node.level - 1
+            if drop > len(pkg_parts):
+                return  # escapes the package: not ours
+            parts = pkg_parts if drop == 0 else pkg_parts[:-drop]
+            base = ".".join(parts)
+            if node.module:
+                base = base + "." + node.module if base else node.module
+        else:
+            base = node.module or ""
+        if not base:
+            return
+        for alias in node.names:
+            submodule = base + "." + alias.name
+            if _module_to_rel(submodule, self.package, self.files) is not None:
+                # ``from pkg import module`` — a real module import
+                self._add(node, submodule, via_init=False, symbol=None)
+            else:
+                # ``from mod import symbol`` — depends on ``mod`` itself
+                self._add(node, base, via_init=False, symbol=alias.name)
+
+
+def build_graph(root: str, package: str) -> ImportGraph:
+    """Parse every module under ``root`` (the *package directory*) and
+    build the import graph.  Nothing is imported or executed."""
+    files = _module_files(root)
+    file_set = frozenset(files)
+    edges: list[ImportEdge] = []
+    for rel in files:
+        full = os.path.join(root, rel)
+        with open(full, encoding="utf-8") as handle:
+            source = handle.read()
+        tree = ast.parse(source, filename=full)
+        collector = _ImportCollector(
+            rel, _rel_to_module(rel, package), package, file_set,
+            source.splitlines())
+        collector.visit(tree)
+        edges.extend(collector.edges)
+    return ImportGraph(root=root, package=package, files=files,
+                       edges=tuple(edges))
+
+
+def closure_files(root: str, package: str,
+                  entries: tuple[str, ...]) -> tuple[str, ...]:
+    """Sorted results-affecting closure from entry files — the file list
+    hashed by ``REPRO_FINGERPRINT_MODE=graph`` (see
+    :func:`repro.experiments.parallel.code_fingerprint`)."""
+    graph = build_graph(root, package)
+    missing = [rel for rel in entries if rel not in set(graph.files)]
+    if missing:
+        raise ValueError("unknown entry module(s): %s" % ", ".join(missing))
+    return tuple(sorted(graph.closure(tuple(entries))))

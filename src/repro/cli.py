@@ -413,6 +413,28 @@ def cmd_cache(args):
               % (removed, cache.directory))
 
 
+def cmd_lint(args):
+    from repro.analysis.lint import engine
+
+    if args.explain is not None:
+        try:
+            print(engine.explain(args.explain))
+        except KeyError:
+            _fail("unknown rule %r (known: %s)"
+                  % (args.explain,
+                     ", ".join(sorted(engine.RULES))))
+        return 0
+    try:
+        findings = engine.run_repo_lint(select=tuple(args.select or ()),
+                                        ignore=tuple(args.ignore or ()))
+        rendered = (engine.render_json(findings) if args.format == "json"
+                    else engine.render_text(findings))
+    except Exception as exc:  # internal error: exit 2, not a finding list
+        _fail("lint pass crashed: %s: %s" % (type(exc).__name__, exc))
+    print(rendered, end="" if rendered.endswith("\n") else "\n")
+    return 1 if findings else 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -507,6 +529,20 @@ def build_parser():
                      help="suppress live progress lines")
     _add_scale_args(sub)
     sub.set_defaults(func=cmd_sweep)
+
+    sub = commands.add_parser(
+        "lint",
+        help="static self-analysis: fingerprint coverage, determinism, "
+             "policy contracts (exit 1 on findings)")
+    sub.add_argument("--format", choices=("text", "json"), default="text")
+    sub.add_argument("--select", nargs="+", default=None, metavar="CODE",
+                     help="only rules with these code prefixes "
+                          "(e.g. FP ND1 PC203)")
+    sub.add_argument("--ignore", nargs="+", default=None, metavar="CODE",
+                     help="drop rules with these code prefixes")
+    sub.add_argument("--explain", default=None, metavar="RULE",
+                     help="print one rule's documentation and exit")
+    sub.set_defaults(func=cmd_lint)
 
     sub = commands.add_parser(
         "cache", help="inspect or empty the sweep result cache")

@@ -42,7 +42,7 @@ class RandHillLearner:
         self.single_ipcs = single_ipcs
         self.delta = delta
         self.budget = budget
-        self.rng = random.Random(seed)
+        self.rng = random.Random(seed)  # repro: allow-nondeterminism[ND105] (seeded from the experiment config)
         self.epoch_id = 0
         self.epochs = []
         self._start_stats = proc.stats.copy()

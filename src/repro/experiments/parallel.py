@@ -39,7 +39,7 @@ from dataclasses import dataclass
 
 from repro.experiments.export import _jsonable
 from repro.experiments.runner import RunResult, run_policy
-from repro.policies import BASELINE_POLICIES
+from repro.policies import BASELINE_POLICIES  # repro: allow-reexport[FP005] (registry lookup; per-family sources hash the defining modules)
 from repro.workloads.mixes import get_workload, workloads_in_group
 
 DEFAULT_POLICIES = ("ICOUNT", "FLUSH", "DCRA", "HILL")
@@ -96,9 +96,9 @@ def policy_factory(name, scale):
     This is the single name-resolution point shared by the CLI and the
     sweep workers; raises :class:`ValueError` for unknown names.
     """
-    from repro.core.hill_climbing import HillClimbingPolicy
+    from repro.core.hill_climbing import HillClimbingPolicy  # repro: dispatch[HILL]
     from repro.core.metrics import metric_by_name
-    from repro.core.phase_hill import PhaseHillPolicy
+    from repro.core.phase_hill import PhaseHillPolicy  # repro: dispatch[PHASE-HILL]
 
     spec = canonical_policy(name)
     if spec in BASELINE_POLICIES:
@@ -157,14 +157,49 @@ def grid_cells(workloads=None, groups=None, policies=DEFAULT_POLICIES,
 
 # -- code fingerprint ---------------------------------------------------
 
+#: Entry modules whose transitive import closure defines "code every cell
+#: depends on".  ``repro lint`` (the fingerprint auditor, rule FP001)
+#: proves that ``_CORE_SOURCES`` + ``_POLICY_SOURCES[family]`` covers the
+#: import closure of ``_CORE_ENTRIES`` + ``_FAMILY_ENTRIES[family]``; the
+#: opt-in ``REPRO_FINGERPRINT_MODE=graph`` fingerprint hashes the closure
+#: itself (see :func:`code_fingerprint`).
+_CORE_ENTRIES = ("experiments/runner.py", "experiments/parallel.py")
+
+#: Per-family entry modules: the lazily imported policy implementations.
+#: Their lazy import sites carry ``# repro: dispatch[FAMILY]`` markers so
+#: the auditor can attribute each to one family (rule FP006).
+_FAMILY_ENTRIES = {
+    "ICOUNT": ("policies/icount.py",),
+    "FPG": ("policies/fpg.py",),
+    "STALL": ("policies/stall.py",),
+    "FLUSH": ("policies/flush.py",),
+    "STALL-FLUSH": ("policies/stall_flush.py",),
+    "DG": ("policies/dg.py",),
+    "PDG": ("policies/dg.py",),
+    "DCRA": ("policies/dcra.py",),
+    "STATIC": ("policies/static_partition.py",),
+    "HILL": ("core/hill_climbing.py",),
+    "PHASE-HILL": ("core/phase_hill.py",),
+}
+
 #: Source files every cell depends on, relative to the ``repro`` package:
-#: the simulator substrate, the run machinery, and the default fetch
-#: policy (ICOUNT drives both default fetch priority and SingleIPC runs).
+#: the simulator substrate, the run machinery (including the reliability
+#: guard the resumable path executes under), the policy registry and the
+#: default fetch policy (ICOUNT drives both default fetch priority and
+#: SingleIPC runs).  Package ``__init__`` files are hashed because
+#: importing any closure module executes them; the graph-mode fingerprint
+#: additionally depends on the import-graph builder itself.
 _CORE_SOURCES = (
     "pipeline", "memory", "branch", "workloads",
+    "__init__.py", "core/__init__.py", "experiments/__init__.py",
+    "policies/__init__.py", "reliability/__init__.py",
+    "analysis/__init__.py", "analysis/lint/__init__.py",
+    "analysis/lint/findings.py", "analysis/lint/importgraph.py",
     "core/controller.py", "core/metrics.py",
     "policies/base.py", "policies/icount.py",
-    "experiments/runner.py",
+    "experiments/runner.py", "experiments/parallel.py",
+    "experiments/export.py",
+    "reliability/guard.py", "reliability/invariants.py",
 )
 
 #: Extra sources per policy family; editing one of these invalidates only
@@ -174,16 +209,17 @@ _POLICY_SOURCES = {
     "FPG": ("policies/fpg.py",),
     "STALL": ("policies/stall.py",),
     "FLUSH": ("policies/flush.py",),
-    "STALL-FLUSH": ("policies/stall_flush.py", "policies/stall.py",
-                    "policies/flush.py"),
+    "STALL-FLUSH": ("policies/stall_flush.py", "policies/flush.py"),
     "DG": ("policies/dg.py",),
     "PDG": ("policies/dg.py",),
     "DCRA": ("policies/dcra.py",),
     "STATIC": ("policies/static_partition.py",),
-    "HILL": ("core/hill_climbing.py",),
-    "PHASE-HILL": ("core/phase_hill.py", "core/hill_climbing.py", "phase"),
+    "HILL": ("core/hill_climbing.py", "core/partition.py"),
+    "PHASE-HILL": ("core/phase_hill.py", "core/hill_climbing.py",
+                   "core/partition.py", "phase"),
 }
 
+#: Memoized fingerprints, keyed by (mode, family).
 _fingerprint_memo = {}
 
 
@@ -206,30 +242,58 @@ def _iter_source_files(root, rel):
                 yield os.path.relpath(full, root), full
 
 
+def fingerprint_mode():
+    """``static`` (default: hash the audited hand lists) or ``graph``
+    (hash the transitive import closure computed from the AST), selected
+    by the ``REPRO_FINGERPRINT_MODE`` environment variable."""
+    mode = os.environ.get("REPRO_FINGERPRINT_MODE", "static")
+    if mode not in ("static", "graph"):
+        raise ValueError(
+            "REPRO_FINGERPRINT_MODE must be 'static' or 'graph', got %r"
+            % mode)
+    return mode
+
+
+def _fingerprint_files(root, family, mode):
+    """Package-relative source files one family's fingerprint hashes."""
+    if mode == "graph":
+        from repro.analysis.lint.importgraph import closure_files
+
+        return closure_files(root, "repro",
+                             _CORE_ENTRIES + _FAMILY_ENTRIES[family])
+    files = []
+    for rel in _CORE_SOURCES + _POLICY_SOURCES[family]:
+        files.extend(relpath for relpath, _ in _iter_source_files(root, rel))
+    return tuple(sorted(set(files)))
+
+
 def code_fingerprint(policy):
     """Hash of the source files a policy's simulation depends on.
 
     The fingerprint covers the simulator substrate plus the policy's own
     module(s), so editing ``policies/dcra.py`` invalidates DCRA cells
-    only, while editing the pipeline invalidates everything.
+    only, while editing the pipeline invalidates everything.  In the
+    default ``static`` mode the file set is the audited hand lists
+    (``repro lint`` proves them sufficient); ``REPRO_FINGERPRINT_MODE=
+    graph`` derives the set from the import graph instead.
     """
     family = canonical_policy(policy)
     if family.startswith("PHASE-HILL"):
         family = "PHASE-HILL"
     elif family.startswith("HILL"):
         family = "HILL"
-    memo = _fingerprint_memo.get(family)
+    mode = fingerprint_mode()
+    memo = _fingerprint_memo.get((mode, family))
     if memo is not None:
         return memo
     root = _package_root()
     digest = hashlib.sha256()
-    for rel in _CORE_SOURCES + _POLICY_SOURCES[family]:
-        for relpath, full in _iter_source_files(root, rel):
-            digest.update(relpath.encode())
-            with open(full, "rb") as handle:
-                digest.update(hashlib.sha256(handle.read()).digest())
+    for relpath in _fingerprint_files(root, family, mode):
+        digest.update(relpath.encode())
+        with open(os.path.join(root, relpath), "rb") as handle:
+            digest.update(hashlib.sha256(handle.read()).digest())
     value = digest.hexdigest()
-    _fingerprint_memo[family] = value
+    _fingerprint_memo[(mode, family)] = value
     return value
 
 
@@ -450,7 +514,7 @@ class SweepEngine:
     # -- events ----------------------------------------------------------
 
     def _emit(self, event, **fields):
-        record = {"ts": round(time.time(), 3), "event": event}
+        record = {"ts": round(time.time(), 3), "event": event}  # repro: allow-nondeterminism[ND101] (progress log timestamps, not results)
         record.update(fields)
         if self.events_path is not None:
             with open(self.events_path, "a") as handle:
@@ -463,7 +527,7 @@ class SweepEngine:
         fields = {"done": done, "cached": cached, "running": running,
                   "total": total, "workers": self.jobs}
         if finished_live:
-            per_cell = (time.time() - started_at) / finished_live
+            per_cell = (time.time() - started_at) / finished_live  # repro: allow-nondeterminism[ND101] (ETA estimate, not results)
             remaining = total - done
             fields["eta_s"] = round(
                 per_cell * remaining / max(1, min(self.jobs, remaining)), 1)
@@ -496,7 +560,7 @@ class SweepEngine:
             else:
                 self.stats["misses"] += 1
                 pending.append(cell)
-        started_at = time.time()
+        started_at = time.time()  # repro: allow-nondeterminism[ND101] (wall-clock reporting, not results)
         self._emit("sweep-start", total=len(unique), cached=cached,
                    pending=len(pending), jobs=self.jobs)
         if pending:
@@ -506,7 +570,7 @@ class SweepEngine:
                 self._run_pool(pending, cached, len(unique), started_at)
         self._emit("sweep-done", total=len(unique), cached=cached,
                    simulated=len(pending),
-                   wall_s=round(time.time() - started_at, 3))
+                   wall_s=round(time.time() - started_at, 3))  # repro: allow-nondeterminism[ND101] (wall-clock reporting, not results)
         return [self._memory[cell] for cell in cells]
 
     def _store(self, cell, result, resumed):

@@ -194,7 +194,7 @@ class MisbehavingPolicy(ResourcePolicy):
     def __init__(self, inner, probability=0.5, seed=1234):
         self.inner = inner
         self.probability = probability
-        self.rng = random.Random(seed)
+        self.rng = random.Random(seed)  # repro: allow-nondeterminism[ND105] (seeded fault-injection schedule)
         self.corruptions = 0
         self.name = "MISBEHAVING(%s)" % inner.name
 
@@ -241,7 +241,7 @@ class FaultInjector:
 
     def __init__(self, faults, seed=0):
         self.faults = list(faults)
-        self.rng = random.Random(seed)
+        self.rng = random.Random(seed)  # repro: allow-nondeterminism[ND105] (seeded fault-injection schedule)
         self.events = []
 
     def before_epoch(self, proc, epoch_id):

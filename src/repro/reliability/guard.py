@@ -94,11 +94,11 @@ class RunBudget:
         self.max_wall_seconds = max_wall_seconds
         self.max_cycles = max_cycles
         self.start_cycle = start_cycle
-        self._t0 = time.monotonic()
+        self._t0 = time.monotonic()  # repro: allow-nondeterminism[ND101] (watchdog timer, not results)
 
     def check(self, proc):
         if self.max_wall_seconds is not None:
-            elapsed = time.monotonic() - self._t0
+            elapsed = time.monotonic() - self._t0  # repro: allow-nondeterminism[ND101] (watchdog timer, not results)
             if elapsed > self.max_wall_seconds:
                 raise BudgetExceeded(
                     "wall-clock budget exhausted (%.1fs > %.1fs)"

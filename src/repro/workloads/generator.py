@@ -129,7 +129,7 @@ class SyntheticStream:
         self.thread_id = thread_id
         self.seed = seed
         self.phase_period = phase_period or profile.phase_period
-        self.rng = random.Random(
+        self.rng = random.Random(  # repro: allow-nondeterminism[ND105] (seeded from (profile, thread, seed))
             _stable_hash(profile.name) * 1_000_003 + thread_id * 997 + seed
         )
         self.seq = 0
@@ -145,7 +145,7 @@ class SyntheticStream:
         self._l2_debt = self.rng.random()
         # Per-site branch biases: mostly strongly biased sites, a few mixed,
         # controlled by branch_predictability.
-        site_rng = random.Random(_stable_hash(profile.name) * 31 + 7777)
+        site_rng = random.Random(_stable_hash(profile.name) * 31 + 7777)  # repro: allow-nondeterminism[ND105] (stable per-profile seed)
         self._branch_bias = []
         for __ in range(profile.branch_sites):
             if site_rng.random() < profile.branch_predictability:

@@ -1,0 +1,1 @@
+"""Fixture trees for the ``repro lint`` self-tests (never imported)."""

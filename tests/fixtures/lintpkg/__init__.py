@@ -1,0 +1,7 @@
+"""Fixture package with seeded lint violations (analysed, never run).
+
+Line numbers in these files are asserted exactly by the lint tests —
+edit with care and update ``tests/test_lint_*.py`` to match.
+"""
+
+from lintpkg.base import BasePolicy

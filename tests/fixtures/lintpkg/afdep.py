@@ -1,0 +1,3 @@
+"""Dependency of the family-A entry."""
+
+AF_CONST = 3

@@ -1,0 +1,24 @@
+"""Seeded contract violations; the tests assert these exact lines."""
+
+from lintpkg.good import GoodPolicy
+
+
+class BadPolicy(GoodPolicy):
+    name = "BAD"
+
+    def on_epoch_ends(self, proc, epoch):
+        pass
+
+    def on_cycle(self, proc, extra):
+        pass
+
+    def attach(self, proc):
+        proc._cycle = 0
+        proc.partitions._shares = None
+        proc.stats._counts["x"] += 1
+
+    plan_epoch = None
+
+    def fetch_priority(self, proc, eligible):
+        proc._order = eligible  # repro: allow-contract[PC203]
+        return eligible

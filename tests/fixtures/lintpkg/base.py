@@ -1,0 +1,21 @@
+"""Fixture base class mirroring the ``policies/base.py`` hook API."""
+
+
+class BasePolicy:
+    name = "BASE"
+    wants_miss_detection = False
+
+    def attach(self, proc):
+        pass
+
+    def fetch_priority(self, proc, eligible):
+        return eligible
+
+    def on_cycle(self, proc):
+        pass
+
+    def on_epoch_end(self, proc, epoch):
+        pass
+
+    def plan_epoch(self, proc, epoch_id):
+        return None

@@ -1,0 +1,3 @@
+"""Leaf module: the seeded closure gap for the fingerprint tests."""
+
+EXTRA = 7

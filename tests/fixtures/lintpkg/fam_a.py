@@ -1,0 +1,11 @@
+"""Family-A policy entry (reached only via the dispatch import)."""
+
+from .base import BasePolicy
+from lintpkg.afdep import AF_CONST
+
+
+class FamAPolicy(BasePolicy):
+    name = "FAM-A"
+
+    def plan_epoch(self, proc, epoch_id):
+        return AF_CONST

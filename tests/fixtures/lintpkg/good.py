@@ -1,0 +1,22 @@
+"""A clean subclass: hook overrides match the contract exactly."""
+
+from lintpkg.base import BasePolicy
+
+
+class GoodPolicy(BasePolicy):
+    name = "GOOD"
+
+    def on_epoch_end(self, proc, epoch):
+        proc.partitions = epoch
+
+    def on_cycle(self, proc):
+        self._internal = proc  # private write on self is fine
+
+    @property
+    def on_demand(self):
+        return 0  # hook-shaped name, but a property: exempt
+
+
+class VariadicPolicy(BasePolicy):
+    def on_epoch_end(self, *args):
+        pass  # *args overrides are exempt from arity checks

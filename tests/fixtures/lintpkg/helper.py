@@ -1,0 +1,7 @@
+"""Eager helper; drags ``extra.py`` into every closure."""
+
+from lintpkg.extra import EXTRA
+
+
+def helper_value():
+    return EXTRA

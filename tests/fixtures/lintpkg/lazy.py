@@ -1,0 +1,7 @@
+"""Dispatch-marked lazy import attributed to family GHOST."""
+
+
+def load():
+    from lintpkg.afdep import AF_CONST  # repro: dispatch[GHOST]
+
+    return AF_CONST

@@ -1,0 +1,26 @@
+"""Seeded determinism violations; the tests assert these exact lines."""
+
+import os
+import random
+import time
+from random import Random, randint
+from time import perf_counter
+
+
+def sample():
+    stamp = time.time()
+    tick = perf_counter()
+    noise = os.urandom(4)
+    coin = random.random()
+    roll = randint(0, 3)
+    rng = Random()
+    rng2 = random.Random(1234)
+    rng3 = random.Random(7)  # repro: allow-nondeterminism[ND105]
+    table = {id(rng): 1}
+    table[id(rng2)] = 2
+    total = 0
+    for item in {3, 1, 2}:
+        total += item
+    squares = [value * value for value in set((1, 2, 3))]
+    return (stamp, tick, noise, coin, roll, rng, rng2, rng3, table,
+            total, squares)

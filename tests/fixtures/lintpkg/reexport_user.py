@@ -1,0 +1,5 @@
+"""Imports a re-exported symbol through the package __init__ (FP005)."""
+
+from lintpkg import BasePolicy
+
+REEXPORTED = BasePolicy

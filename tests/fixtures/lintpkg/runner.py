@@ -1,0 +1,16 @@
+"""Fixture sweep entry: eager, lazy, re-export and dispatch imports."""
+
+from lintpkg import BasePolicy  # repro: allow-reexport[FP005]
+from lintpkg.helper import helper_value
+
+from . import good
+
+
+def make(name):
+    from lintpkg.fam_a import FamAPolicy  # repro: dispatch[A]
+
+    if name == "lazy":
+        import lintpkg.extra as extra
+
+        return extra
+    return FamAPolicy, BasePolicy, helper_value, good

@@ -32,7 +32,7 @@ ROOT = Path(__file__).resolve().parent.parent
 # -- fenced-block extraction ------------------------------------------------
 
 DOC_FILES = ("README.md", "EXPERIMENTS.md", "docs/PARALLEL.md",
-             "docs/RELIABILITY.md")
+             "docs/RELIABILITY.md", "docs/ANALYSIS.md")
 
 Snippet = namedtuple("Snippet", "name lineno info body")
 
@@ -72,6 +72,7 @@ class TestDocumentsExist:
     @pytest.mark.parametrize("name", [
         "README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/INTERNALS.md",
         "docs/PARALLEL.md", "docs/RELIABILITY.md", "docs/WORKLOADS.md",
+        "docs/ANALYSIS.md",
     ])
     def test_document_present_and_substantial(self, name):
         path = ROOT / name

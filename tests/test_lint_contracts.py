@@ -1,0 +1,72 @@
+"""Policy-contract checker tests: the seeded violations in
+``tests/fixtures/lintpkg/bad_policy.py`` at exact lines, and the clean
+subclasses staying clean."""
+
+import os
+
+import pytest
+
+from repro.analysis.lint.contracts import check_tree, parse_base_contract
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+PKG_ROOT = os.path.join(FIXTURES, "lintpkg")
+ALL_MODULES = ("base.py", "good.py", "bad_policy.py")
+
+
+def run(rels=ALL_MODULES):
+    return check_tree(PKG_ROOT, tuple(rels), "base.py", "BasePolicy")
+
+
+def test_contract_extraction():
+    contract = parse_base_contract(PKG_ROOT, "base.py", "BasePolicy")
+    assert set(contract.hooks) == {"attach", "fetch_priority", "on_cycle",
+                                   "on_epoch_end", "plan_epoch"}
+    assert contract.hooks["on_epoch_end"].arity == 3
+    assert contract.hooks["on_cycle"].params == ("self", "proc")
+    assert {"name", "wants_miss_detection"} <= contract.class_attrs
+
+
+def test_missing_base_class_raises():
+    with pytest.raises(ValueError):
+        parse_base_contract(PKG_ROOT, "base.py", "NoSuchClass")
+
+
+def test_bad_policy_exact_findings():
+    findings = [f for f in run() if f.path == "bad_policy.py"]
+    got = sorted((f.rule, f.line) for f in findings)
+    assert got == [
+        ("PC201", 9),    # on_epoch_ends: typo'd hook name
+        ("PC202", 12),   # on_cycle with an extra parameter
+        ("PC203", 16),   # proc._cycle = 0
+        ("PC203", 17),   # proc.partitions._shares = None
+        ("PC203", 18),   # proc.stats._counts["x"] += 1
+        ("PC204", 20),   # plan_epoch = None
+    ]
+
+
+def test_allowlisted_private_write_suppressed():
+    findings = [f for f in run() if f.path == "bad_policy.py"]
+    assert not any(f.line == 23 for f in findings)
+
+
+def test_transitive_subclass_is_discovered():
+    # BadPolicy subclasses GoodPolicy, not BasePolicy directly; leaving
+    # good.py out of the scan set breaks the chain.
+    assert [f for f in run(("base.py", "bad_policy.py"))] == []
+
+
+def test_good_policies_are_clean():
+    assert [f for f in run() if f.path == "good.py"] == []
+
+
+def test_property_with_hook_shaped_name_is_exempt():
+    # GoodPolicy.on_demand is a @property; no PC201.
+    findings = run()
+    assert not any(f.rule == "PC201" and f.path == "good.py"
+                   for f in findings)
+
+
+def test_unrelated_class_is_ignored():
+    # nondet.py defines no policy subclass; scanning it adds nothing.
+    findings = run(ALL_MODULES + ("nondet.py",))
+    assert not any(f.path == "nondet.py" for f in findings)

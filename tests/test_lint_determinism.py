@@ -1,0 +1,73 @@
+"""Determinism linter tests: exact rule codes and line numbers against
+the seeded violations in ``tests/fixtures/lintpkg/nondet.py``."""
+
+import os
+
+from repro.analysis.lint.determinism import scan_file, scan_source
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+PKG_ROOT = os.path.join(FIXTURES, "lintpkg")
+
+#: (rule, line) for every seeded violation in nondet.py, in file order.
+EXPECTED = [
+    ("ND101", 11),   # time.time()
+    ("ND101", 12),   # perf_counter() imported from time
+    ("ND102", 13),   # os.urandom(4)
+    ("ND103", 14),   # random.random()
+    ("ND103", 15),   # randint() imported from random
+    ("ND104", 16),   # Random() with no seed
+    ("ND105", 17),   # random.Random(1234) without an allow marker
+    ("ND106", 19),   # dict literal keyed by id(...)
+    ("ND106", 20),   # subscript store keyed by id(...)
+    ("ND107", 22),   # for item in {3, 1, 2}
+    ("ND107", 24),   # comprehension over set((1, 2, 3))
+]
+
+
+def test_nondet_fixture_exact_findings():
+    findings = scan_file(PKG_ROOT, "nondet.py")
+    got = [(f.rule, f.line) for f in findings]
+    assert got == EXPECTED
+    assert all(f.path == "nondet.py" for f in findings)
+
+
+def test_allowlisted_line_is_suppressed():
+    findings = scan_file(PKG_ROOT, "nondet.py")
+    assert not any(f.line == 18 for f in findings)  # allow-nondeterminism
+
+
+def test_clean_module_has_no_findings():
+    assert scan_file(PKG_ROOT, "base.py") == []
+
+
+def test_seeded_rng_not_flagged_when_allowlisted():
+    src = ("import random\n"
+           "rng = random.Random(3)"
+           "  # repro: allow-nondeterminism[ND105]\n")
+    assert scan_source("mod.py", src) == []
+
+
+def test_multiple_codes_in_one_marker():
+    src = ("import time, random\n"
+           "x = (time.time(), random.Random(1))"
+           "  # repro: allow-nondeterminism[ND101, ND105]\n")
+    assert scan_source("mod.py", src) == []
+
+
+def test_marker_for_other_rule_does_not_suppress():
+    src = ("import time\n"
+           "x = time.time()  # repro: allow-nondeterminism[ND105]\n")
+    findings = scan_source("mod.py", src)
+    assert [(f.rule, f.line) for f in findings] == [("ND101", 2)]
+
+
+def test_datetime_now_flagged():
+    src = ("import datetime\n"
+           "stamp = datetime.datetime.now()\n")
+    assert [(f.rule, f.line) for f in scan_source("mod.py", src)] \
+        == [("ND101", 2)]
+
+
+def test_sorted_set_iteration_is_fine():
+    src = "total = sum(x for x in sorted({3, 1, 2}))\n"
+    assert scan_source("mod.py", src) == []

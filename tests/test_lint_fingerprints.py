@@ -1,0 +1,120 @@
+"""Fingerprint coverage auditor tests over the fixture package: a clean
+spec stays clean, and each seeded perturbation trips its rule."""
+
+import os
+
+import pytest
+
+from repro.analysis.lint.fingerprints import FingerprintSpec, \
+    audit_fingerprints
+from repro.analysis.lint.importgraph import build_graph
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+PKG_ROOT = os.path.join(FIXTURES, "lintpkg")
+
+#: A spec that exactly covers the fixture tree's closures.
+CLEAN = dict(
+    core_entries=("runner.py",),
+    core_sources=("__init__.py", "runner.py", "helper.py", "extra.py",
+                  "good.py", "base.py"),
+    family_entries={"A": ("fam_a.py",), "GHOST": ("afdep.py",)},
+    family_sources={"A": ("fam_a.py", "afdep.py"),
+                    "GHOST": ("afdep.py",)},
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_graph(PKG_ROOT, "lintpkg")
+
+
+def audit(graph, **overrides):
+    spec = dict(CLEAN)
+    spec.update(overrides)
+    return audit_fingerprints(graph, FingerprintSpec(**spec))
+
+
+def rules(findings):
+    return sorted({f.rule for f in findings})
+
+
+def test_clean_spec_has_no_findings(graph):
+    assert audit(graph) == []
+
+
+def test_missing_closure_file_is_fp001(graph):
+    findings = audit(graph, core_sources=(
+        "__init__.py", "runner.py", "helper.py", "good.py", "base.py"))
+    assert rules(findings) == ["FP001"]
+    (finding,) = findings
+    assert finding.path == "extra.py"
+    assert "helper.py:3" in finding.message  # the witness import site
+
+
+def test_missing_family_entry_names_the_file(graph):
+    findings = audit(graph, family_sources={"A": ("fam_a.py",),
+                                            "GHOST": ("afdep.py",)})
+    assert any(f.rule == "FP001" and f.path == "afdep.py"
+               for f in findings)
+
+
+def test_unreachable_file_entry_is_fp002_warning(graph):
+    findings = audit(graph, core_sources=CLEAN["core_sources"]
+                     + ("nondet.py",))
+    assert rules(findings) == ["FP002"]
+    (finding,) = findings
+    assert finding.severity == "warning"
+    assert finding.path == "nondet.py"
+
+
+def test_nonexistent_entry_is_fp003(graph):
+    findings = audit(graph, core_sources=CLEAN["core_sources"]
+                     + ("ghost_module.py",))
+    assert "FP003" in rules(findings)
+
+
+def test_family_map_disagreement_is_fp004(graph):
+    findings = audit(graph, family_entries={"A": ("fam_a.py",)})
+    assert any(f.rule == "FP004" and "'GHOST'" in f.message
+               for f in findings)
+
+
+def test_entry_hashed_by_nobody_is_fp004(graph):
+    findings = audit(graph, family_sources={"A": (), "GHOST": ("afdep.py",)})
+    assert any(f.rule == "FP004" and "'fam_a.py'" in f.message
+               for f in findings)
+
+
+def test_unmarked_reexport_in_closure_is_fp005(graph):
+    findings = audit(
+        graph,
+        core_entries=("reexport_user.py",),
+        core_sources=("__init__.py", "reexport_user.py"))
+    (finding,) = [f for f in findings if f.rule == "FP005"]
+    assert (finding.path, finding.line) == ("reexport_user.py", 3)
+    assert "'BasePolicy'" in finding.message
+
+
+def test_allowlisted_reexport_is_silent(graph):
+    # runner.py's ``from lintpkg import BasePolicy`` carries the marker.
+    assert audit(graph) == []
+
+
+def test_dispatch_to_unknown_family_is_fp006(graph):
+    findings = audit(graph,
+                     family_entries={"A": ("fam_a.py",)},
+                     family_sources={"A": ("fam_a.py", "afdep.py")})
+    assert any(f.rule == "FP006" and "GHOST" in f.message
+               for f in findings)
+
+
+def test_dispatch_target_outside_family_sources_is_fp006(graph):
+    # GHOST's spec stops hashing afdep.py, but lazy.py still dispatches
+    # to it under the GHOST marker.
+    findings = audit(graph,
+                     family_entries={"A": ("fam_a.py",),
+                                     "GHOST": ("extra.py",)},
+                     family_sources={"A": ("fam_a.py", "afdep.py"),
+                                     "GHOST": ("extra.py",)})
+    assert any(f.rule == "FP006" and f.path == "lazy.py"
+               for f in findings)

@@ -1,0 +1,132 @@
+"""Self-check: the three lint passes over the real ``repro`` tree, the
+fail-closed directions from the sweep cache's point of view, and the
+graph fingerprint mode."""
+
+import os
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.lint import engine
+from repro.analysis.lint.importgraph import build_graph
+from repro.experiments import parallel
+
+
+@pytest.fixture
+def fresh_memo():
+    parallel.clear_fingerprint_memo()
+    yield
+    parallel.clear_fingerprint_memo()
+
+
+# ----------------------------------------------------------------------
+# The real tree
+# ----------------------------------------------------------------------
+
+
+def test_real_tree_is_clean():
+    assert engine.run_repo_lint() == []
+
+
+def test_determinism_scope_is_the_cached_code():
+    graph = build_graph(engine.package_root(), "repro")
+    scope = set(engine.determinism_scope(graph, engine.repo_spec()))
+    # everything a cache key hashes must be in scope ...
+    assert {"pipeline/processor.py", "workloads/generator.py",
+            "core/hill_climbing.py", "experiments/parallel.py",
+            "reliability/guard.py"} <= scope
+    # ... and code that never feeds a cached result is not policed
+    assert "cli.py" not in scope
+    assert "analysis/hill_width.py" not in scope
+    assert "reliability/faults.py" not in scope
+
+
+def test_deleting_a_policy_source_fails_the_audit(monkeypatch):
+    doctored = dict(parallel._POLICY_SOURCES)
+    doctored["DCRA"] = ()
+    monkeypatch.setattr(parallel, "_POLICY_SOURCES", doctored)
+    findings = engine.run_repo_lint(select=("FP001",))
+    assert any(f.path == "policies/dcra.py" for f in findings)
+
+
+def test_deleting_a_core_source_fails_the_audit(monkeypatch):
+    trimmed = tuple(rel for rel in parallel._CORE_SOURCES
+                    if rel != "reliability/invariants.py")
+    monkeypatch.setattr(parallel, "_CORE_SOURCES", trimmed)
+    findings = engine.run_repo_lint(select=("FP001",))
+    assert any(f.path == "reliability/invariants.py" for f in findings)
+
+
+def test_new_unlisted_import_fails_the_audit(tmp_path):
+    # Copy the package, grow policies/dcra.py a dependency the
+    # fingerprint lists don't know about, and re-audit the copy.
+    copy_root = str(tmp_path / "repro")
+    shutil.copytree(engine.package_root(), copy_root)
+    dcra = os.path.join(copy_root, "policies", "dcra.py")
+    with open(dcra, "a", encoding="utf-8") as handle:
+        handle.write("\nfrom repro.core.offline import share_grid\n")
+    graph = build_graph(copy_root, "repro")
+    findings = engine.PASSES["fingerprints"](copy_root, graph)
+    assert any(f.rule == "FP001" and f.path == "core/offline.py"
+               and "dcra.py" in f.message for f in findings)
+
+
+# ----------------------------------------------------------------------
+# Fingerprint modes
+# ----------------------------------------------------------------------
+
+
+def test_graph_mode_differs_and_is_memoized_per_mode(monkeypatch,
+                                                     fresh_memo):
+    monkeypatch.delenv("REPRO_FINGERPRINT_MODE", raising=False)
+    static = parallel.code_fingerprint("HILL")
+    monkeypatch.setenv("REPRO_FINGERPRINT_MODE", "graph")
+    graph_fp = parallel.code_fingerprint("HILL")
+    assert static != graph_fp
+    assert parallel.code_fingerprint("HILL") == graph_fp
+    monkeypatch.setenv("REPRO_FINGERPRINT_MODE", "static")
+    assert parallel.code_fingerprint("HILL") == static
+
+
+def test_graph_mode_closure_contains_the_true_positives(fresh_memo):
+    root = engine.package_root()
+    files = parallel._fingerprint_files(root, "HILL", "graph")
+    # core/partition.py was the missing-coverage bug the auditor caught;
+    # graph mode derives it instead of trusting the hand list.
+    assert "core/partition.py" in files
+    assert "reliability/guard.py" in files
+    assert "policies/dcra.py" not in files  # family isolation holds
+
+
+def test_static_and_graph_modes_key_the_memo_separately(monkeypatch,
+                                                        fresh_memo):
+    monkeypatch.setenv("REPRO_FINGERPRINT_MODE", "graph")
+    parallel.code_fingerprint("DCRA")
+    assert ("graph", "DCRA") in parallel._fingerprint_memo
+    assert ("static", "DCRA") not in parallel._fingerprint_memo
+
+
+def test_unknown_mode_is_rejected(monkeypatch, fresh_memo):
+    monkeypatch.setenv("REPRO_FINGERPRINT_MODE", "fancy")
+    with pytest.raises(ValueError):
+        parallel.code_fingerprint("HILL")
+
+
+# ----------------------------------------------------------------------
+# Typing gate (mirrors the CI lint job; skipped when mypy is absent)
+# ----------------------------------------------------------------------
+
+
+def test_lint_package_is_strictly_typed():
+    probe = subprocess.run([sys.executable, "-m", "mypy", "--version"],
+                           capture_output=True)
+    if probe.returncode != 0:
+        pytest.skip("mypy is not installed in this environment")
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "--strict",
+         "--follow-imports=silent", "src/repro/analysis/lint/"],
+        capture_output=True, text=True,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    assert result.returncode == 0, result.stdout + result.stderr
