@@ -1,0 +1,70 @@
+"""Core-throughput micro-benchmarks: fast vs reference run loop.
+
+Times the same epoch window under both cores on a MEM-heavy Figure 4 cell
+(art-mcf), where long main-memory stalls give the quiescence detector
+something to skip.  The headroom scales with memory latency — see
+``BENCH_core.json`` (built by ``scripts/bench_core.py``) for the full
+latency sweep; these benchmarks pin the two ends of it.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.runner import make_processor
+from repro.experiments.parallel import policy_factory
+from repro.pipeline.fastpath import forced_core
+from repro.pipeline.profile import CoreProfile
+from repro.workloads.mixes import get_workload
+
+CORES = ("fast", "reference")
+
+#: Far-memory latency (cycles) for the stress benchmarks; matches
+#: :data:`repro.experiments.profiling.STRESS_MEM_LATENCY`.
+FAR_MEM = 2000
+
+
+def _warm_proc(scale, mem_latency=None):
+    if mem_latency is not None:
+        scale = scale.with_overrides(
+            config=replace(scale.config, mem_latency=mem_latency))
+    workload = get_workload("art-mcf")
+    policy = policy_factory("FLUSH", scale)()
+    return make_processor(workload, policy, scale, warm=True)
+
+
+@pytest.mark.parametrize("core", CORES)
+def test_core_throughput_paper_latency(benchmark, scale, core):
+    proc = _warm_proc(scale)
+    cycles = scale.epoch_size
+
+    def run_epoch():
+        with forced_core(core):
+            proc.run(cycles)
+
+    benchmark.pedantic(run_epoch, rounds=5, iterations=1)
+    assert proc.stats.total_committed() > 0
+
+
+@pytest.mark.parametrize("core", CORES)
+def test_core_throughput_far_memory(benchmark, scale, core):
+    proc = _warm_proc(scale, mem_latency=FAR_MEM)
+    cycles = scale.epoch_size
+
+    def run_epoch():
+        with forced_core(core):
+            proc.run(cycles)
+
+    benchmark.pedantic(run_epoch, rounds=5, iterations=1)
+    assert proc.stats.total_committed() > 0
+
+
+def test_fast_core_skip_coverage(scale):
+    """Not a timing benchmark: records how much of the far-memory window
+    the fast core skipped (the mechanism behind the speedup above)."""
+    proc = _warm_proc(scale, mem_latency=FAR_MEM)
+    proc.profile = profile = CoreProfile()
+    with forced_core("fast"):
+        proc.run(scale.epoch_size)
+    assert profile.total_cycles == scale.epoch_size
+    assert profile.skipped_cycles > 0

@@ -24,6 +24,10 @@ Commands
     (``--jobs N``) with content-addressed on-disk result caching,
     JSONL progress events, optional crash-safe per-cell resume, and a
     deterministic merged-JSON export (see docs/PARALLEL.md).
+``profile``
+    Simulator throughput: run one workload/policy under the fast
+    and/or reference core and report wall time, KIPS, skip ratio and
+    per-stage cycle activity (see docs/INTERNALS.md).
 ``cache``
     ``info``/``clear`` for the sweep result cache.
 
@@ -99,6 +103,14 @@ def _policy_factory(name, scale):
 
 
 def _scale_from(args):
+    from repro.pipeline.fastpath import core_mode
+
+    try:
+        # Fail fast (exit 2) on a bad REPRO_CORE before any simulation
+        # starts, instead of deep inside the first run() call.
+        core_mode()
+    except ValueError as exc:
+        _fail(str(exc))
     scale = _SCALES[args.scale]()
     overrides = {}
     if args.epochs is not None:
@@ -396,6 +408,49 @@ def cmd_sweep(args):
         print("merged results written to %s" % args.out)
 
 
+def cmd_profile(args):
+    from repro.experiments.profiling import profile_run
+    from repro.pipeline.profile import STAGES
+
+    scale = _scale_from(args)
+    workload = _get_workload_checked(args.workload)
+    records = {}
+    for core in args.cores:
+        policy = _policy_factory(args.policy, scale)()
+        print("profiling %s under %s [%s core]..."
+              % (workload.name, policy.name, core))
+        records[core] = profile_run(workload, policy, scale, core=core)
+    print(format_table(
+        ["core", "cycles", "committed", "IPC", "wall (s)", "KIPS",
+         "skip ratio", "skips"],
+        [[core, record["cycles"], record["committed"],
+          "%.3f" % record["ipc"], "%.3f" % record["wall_s"],
+          "%.1f" % record["kips"], "%.3f" % record["skip_ratio"],
+          record["skip_events"]]
+         for core, record in records.items()]))
+    print()
+    print(format_table(
+        ["stage"] + ["%s active" % core for core in records],
+        [[stage] + [record["stage_cycles"][stage]
+                    for record in records.values()]
+         for stage in STAGES]))
+    if "fast" in records and "reference" in records:
+        fast_wall = records["fast"]["wall_s"]
+        if fast_wall > 0:
+            print()
+            print("fast-core speedup: %.2fx"
+                  % (records["reference"]["wall_s"] / fast_wall))
+    if args.out is not None:
+        import json
+
+        with open(args.out, "w") as handle:
+            json.dump({"workload": workload.name, "policy": args.policy,
+                       "records": records}, handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print("profile records written to %s" % args.out)
+
+
 def cmd_cache(args):
     from repro.experiments.parallel import ResultCache
 
@@ -529,6 +584,20 @@ def build_parser():
                      help="suppress live progress lines")
     _add_scale_args(sub)
     sub.set_defaults(func=cmd_sweep)
+
+    sub = commands.add_parser(
+        "profile",
+        help="simulator throughput: wall time, KIPS, skip ratio and "
+             "per-stage activity under each core")
+    sub.add_argument("--workload", default="art-mcf")
+    sub.add_argument("--policy", default="ICOUNT")
+    sub.add_argument("--cores", nargs="+", choices=("fast", "reference"),
+                     default=["fast", "reference"],
+                     help="which run-loop cores to time")
+    sub.add_argument("--out", default=None, metavar="FILE",
+                     help="write the profile records as JSON here")
+    _add_scale_args(sub)
+    sub.set_defaults(func=cmd_profile)
 
     sub = commands.add_parser(
         "lint",

@@ -190,6 +190,10 @@ _FAMILY_ENTRIES = {
 #: importing any closure module executes them; the graph-mode fingerprint
 #: additionally depends on the import-graph builder itself.
 _CORE_SOURCES = (
+    # Directory entries hash every .py under them, so the run-loop core
+    # modules (pipeline/fastpath.py, pipeline/profile.py) are covered by
+    # "pipeline" — editing the fast path invalidates every cell, exactly
+    # as editing the reference loop does.
     "pipeline", "memory", "branch", "workloads",
     "__init__.py", "core/__init__.py", "experiments/__init__.py",
     "policies/__init__.py", "reliability/__init__.py",

@@ -88,20 +88,26 @@ class Cache:
         flight (0 for a settled line or a fresh miss — the caller assigns
         the new line's fill time via :meth:`set_fill`).
         """
-        index, tag = self._index_tag(addr)
-        cache_set = self._sets[index]
-        self._stamp += 1
-        self.stats.accesses += 1
+        # _index_tag inlined: this is the hottest method in the memory
+        # model (one call per load/store/fetch-block probe).
+        block = addr >> self._block_shift
+        num_sets = self.num_sets
+        cache_set = self._sets[block % num_sets]
+        tag = block // num_sets
+        stamp = self._stamp + 1
+        self._stamp = stamp
+        stats = self.stats
+        stats.accesses += 1
         entry = cache_set.get(tag)
         if entry is not None:
-            entry[0] = self._stamp
+            entry[0] = stamp
             wait = entry[1] - now
             return True, wait if wait > 0 else 0
-        self.stats.misses += 1
+        stats.misses += 1
         if len(cache_set) >= self.assoc:
             victim = min(cache_set, key=lambda key: cache_set[key][0])
             del cache_set[victim]
-        cache_set[tag] = [self._stamp, now]
+        cache_set[tag] = [stamp, now]
         return False, 0
 
     def set_fill(self, addr, fill_time):

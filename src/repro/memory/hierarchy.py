@@ -7,8 +7,6 @@ the access was satisfied; the pipeline uses ``missed_l2`` to drive the FLUSH
 and STALL policies and DCRA's fast/slow classification.
 """
 
-from dataclasses import dataclass
-
 from repro.memory.cache import Cache
 
 L1_LEVEL = "L1"
@@ -16,20 +14,25 @@ L2_LEVEL = "L2"
 MEM_LEVEL = "MEM"
 
 
-@dataclass(frozen=True)
 class AccessResult:
-    """Outcome of one memory access."""
+    """Outcome of one memory access.
 
-    latency: int
-    level: str  # L1_LEVEL, L2_LEVEL or MEM_LEVEL
+    A plain ``__slots__`` record rather than a dataclass: one is built per
+    memory access, which makes construction cost part of the simulator's
+    per-instruction budget, and the miss flags are precomputed for the
+    same reason.
+    """
 
-    @property
-    def missed_l1(self):
-        return self.level != L1_LEVEL
+    __slots__ = ("latency", "level", "missed_l1", "missed_l2")
 
-    @property
-    def missed_l2(self):
-        return self.level == MEM_LEVEL
+    def __init__(self, latency, level):
+        self.latency = latency
+        self.level = level  # L1_LEVEL, L2_LEVEL or MEM_LEVEL
+        self.missed_l1 = level != L1_LEVEL
+        self.missed_l2 = level == MEM_LEVEL
+
+    def __repr__(self):
+        return "AccessResult(latency=%r, level=%r)" % (self.latency, self.level)
 
 
 class MemoryHierarchy:

@@ -25,9 +25,10 @@ Mechanisms modelled:
   picklable; see :mod:`repro.pipeline.checkpoint`.
 """
 
-import heapq
 from collections import deque
+from heapq import heappop, heappush
 
+from repro.pipeline.fastpath import apply_skip, core_mode, quiescent_horizon
 from repro.branch.btb import BranchTargetBuffer
 from repro.branch.hybrid import HybridPredictor
 from repro.branch.ras import ReturnAddressStack
@@ -39,6 +40,15 @@ from repro.workloads.generator import OpClass, SyntheticStream
 
 _INT_PRODUCERS = frozenset((OpClass.IALU, OpClass.IMUL, OpClass.LOAD, OpClass.CALL))
 _FP_PRODUCERS = frozenset((OpClass.FADD, OpClass.FMUL))
+
+# Hot-path op constants: one global load instead of two dict lookups per
+# ``OpClass.X`` reference inside the per-instruction stage bodies.
+_LOAD = OpClass.LOAD
+_STORE = OpClass.STORE
+_BRANCH = OpClass.BRANCH
+_CALL = OpClass.CALL
+_RETURN = OpClass.RETURN
+_IMUL = OpClass.IMUL
 
 
 class _ThreadState:
@@ -162,12 +172,28 @@ class SMTProcessor:
         self._commit_rr = 0
         self._dispatch_rr = 0
         self._detect_latency = config.dl1.latency + config.ul2.latency
+        # Completion latency by op class for everything whose latency is
+        # static (loads consult the hierarchy instead); saves the config
+        # attribute-chain walk per issued instruction.
+        self._op_latency = {
+            OpClass.IALU: config.lat_int_alu,
+            OpClass.IMUL: config.lat_int_mul,
+            OpClass.FADD: config.lat_fp_add,
+            OpClass.FMUL: config.lat_fp_mul,
+            OpClass.STORE: config.lat_store,
+            OpClass.BRANCH: config.lat_branch,
+            OpClass.CALL: config.lat_branch,
+            OpClass.RETURN: config.lat_branch,
+        }
         #: Optional BBV collector (set by phase-aware policies); receives
         #: every committed control-flow instruction's PC.
         self.bbv = None
         #: Optional :class:`~repro.pipeline.trace.PipelineTracer` for
         #: per-instruction stage traces (debugging aid; None = off).
         self.trace = None
+        #: Optional :class:`~repro.pipeline.profile.CoreProfile` receiving
+        #: per-stage activity and fast-forward skip counters (None = off).
+        self.profile = None
         if warm_caches:
             self._warm_caches(profiles)
         # Policy.
@@ -222,9 +248,30 @@ class SMTProcessor:
     # ------------------------------------------------------------------
 
     def run(self, num_cycles):
-        """Advance the machine by ``num_cycles`` cycles."""
-        policy = self.policy
+        """Advance the machine by ``num_cycles`` cycles.
+
+        Two byte-identical cores can execute the window: the event-driven
+        fast path (default), which proves quiescent stretches and jumps
+        them, and the stage-every-cycle reference loop
+        (``REPRO_CORE=reference``).  Selection is read per call and never
+        stored, so checkpoints and sweep cache keys are core-agnostic;
+        see :mod:`repro.pipeline.fastpath` and docs/INTERNALS.md.
+        """
         end = self.cycle + num_cycles
+        if core_mode() == "reference":
+            if self.profile is not None:
+                self._run_profiled(end, fast=False)
+            else:
+                self._run_reference(end)
+        elif self.profile is not None:
+            self._run_profiled(end, fast=True)
+        else:
+            self._run_fast(end)
+
+    def _run_reference(self, end):
+        """The trusted baseline: all six stages, every cycle."""
+        policy = self.policy
+        stats = self.stats
         while self.cycle < end:
             cycle = self.cycle
             self._do_completions(cycle)
@@ -235,8 +282,109 @@ class SMTProcessor:
             self._do_dispatch()
             self._do_fetch(cycle)
             policy.on_cycle(self)
-            self.cycle += 1
-            self.stats.cycles += 1
+            self.cycle = cycle + 1
+            stats.cycles += 1
+
+    def _run_fast(self, end):
+        """Event-driven core: per-stage early-outs on dense cycles, event-
+        horizon jumps over proven-quiescent stretches.
+
+        The cheap pre-gate (empty ready heap, no event head due) bounds
+        the quiescence-proof overhead on dense phases; the per-stage
+        guards replicate each stage's own first early-return, saving the
+        call.  The heaps are hoisted as locals — they are only ever
+        mutated in place during a run (``charge_stall`` rebinds them, but
+        cannot run inside a window).
+        """
+        policy = self.policy
+        stats = self.stats
+        ready = self._ready
+        completions = self._completions
+        detections = self._detections
+        while self.cycle < end:
+            cycle = self.cycle
+            if not ready \
+                    and (not completions or completions[0][0] > cycle) \
+                    and (not detections or detections[0][0] > cycle):
+                horizon = quiescent_horizon(self, end)
+                if horizon is not None:
+                    apply_skip(self, horizon)
+                    continue
+            if completions and completions[0][0] <= cycle:
+                self._do_completions(cycle)
+            if detections and detections[0][0] <= cycle:
+                self._do_detections(cycle)
+            if self.rob_total:
+                self._do_commit()
+            if ready:
+                self._do_issue(cycle)
+            if self.ifq_total:
+                self._do_dispatch()
+            self._do_fetch(cycle)
+            policy.on_cycle(self)
+            self.cycle = cycle + 1
+            stats.cycles += 1
+
+    def _run_profiled(self, end, fast):
+        """Either core with :class:`~repro.pipeline.profile.CoreProfile`
+        instrumentation: stage activity is detected from cheap state
+        deltas, so the simulation itself stays byte-identical to the
+        unprofiled loops."""
+        profile = self.profile
+        policy = self.policy
+        stats = self.stats
+        ready = self._ready
+        completions = self._completions
+        detections = self._detections
+        active = profile.active_cycles
+        committed = stats.committed
+        while self.cycle < end:
+            cycle = self.cycle
+            if fast and not ready \
+                    and (not completions or completions[0][0] > cycle) \
+                    and (not detections or detections[0][0] > cycle):
+                horizon = quiescent_horizon(self, end)
+                if horizon is not None:
+                    profile.note_skip(apply_skip(self, horizon))
+                    continue
+            busy = False
+            before = len(completions)
+            self._do_completions(cycle)
+            if len(completions) != before:
+                active["complete"] += 1
+                busy = True
+            if detections:
+                before = len(detections)
+                self._do_detections(cycle)
+                if len(detections) != before:
+                    active["detect"] += 1
+                    busy = True
+            before = sum(committed)
+            self._do_commit()
+            if sum(committed) != before:
+                active["commit"] += 1
+                busy = True
+            before = len(completions)
+            self._do_issue(cycle)
+            if len(completions) != before:
+                active["issue"] += 1
+                busy = True
+            before = self.ifq_total
+            self._do_dispatch()
+            if self.ifq_total < before:
+                active["dispatch"] += 1
+                busy = True
+            before = self.ifq_total
+            self._do_fetch(cycle)
+            if self.ifq_total > before:
+                active["fetch"] += 1
+                busy = True
+            if not busy:
+                active["idle"] += 1
+            policy.on_cycle(self)
+            self.cycle = cycle + 1
+            stats.cycles += 1
+            profile.executed_cycles += 1
 
     def charge_stall(self, num_cycles):
         """Freeze the whole machine for ``num_cycles`` (the paper charges a
@@ -279,11 +427,12 @@ class SMTProcessor:
 
     def _do_completions(self, cycle):
         completions = self._completions
+        complete = self._complete
         while completions and completions[0][0] <= cycle:
-            __, __, instr, gen = heapq.heappop(completions)
+            __, __, instr, gen = heappop(completions)
             if instr.gen != gen or instr.squashed:
                 continue
-            self._complete(cycle, instr)
+            complete(cycle, instr)
 
     def _complete(self, cycle, instr):
         instr.done = True
@@ -298,17 +447,17 @@ class SMTProcessor:
                     continue
                 consumer.remaining_srcs -= 1
                 if consumer.remaining_srcs == 0 and not consumer.issued:
-                    heapq.heappush(ready, (consumer.order, consumer, consumer.gen))
+                    heappush(ready, (consumer.order, consumer, consumer.gen))
             instr.dependents = []
         op = instr.op
-        if op == OpClass.LOAD:
+        if op == _LOAD:
             level = instr.mem_level
             if level is not None and level != "L1":
                 thread.outstanding_l1 -= 1
                 if level == "MEM":
                     thread.outstanding_l2 -= 1
             self.policy.on_load_complete(self, instr)
-        elif op == OpClass.BRANCH:
+        elif op == _BRANCH:
             self.stats.branches[instr.thread] += 1
             if instr.prediction is not None:
                 self.predictors[instr.thread].update(
@@ -334,7 +483,7 @@ class SMTProcessor:
     def _do_detections(self, cycle):
         detections = self._detections
         while detections and detections[0][0] <= cycle:
-            __, __, instr, gen = heapq.heappop(detections)
+            __, __, instr, gen = heappop(detections)
             if instr.gen != gen or instr.squashed or instr.done:
                 continue
             self.policy.on_l2_miss_detected(self, instr)
@@ -347,21 +496,42 @@ class SMTProcessor:
         num = self.num_threads
         start = self._commit_rr
         self._commit_rr = (start + 1) % num
+        committed = self.stats.committed
+        bbv = self.bbv
+        trace = self.trace
+        ctrl_ops = OpClass.CTRL_OPS
         progress = True
         while budget > 0 and progress:
             progress = False
             for offset in range(num):
                 thread = threads[(start + offset) % num]
                 rob = thread.rob
+                if not (rob and rob[0].done):
+                    continue
+                tid = thread.tid
+                inflight_pop = thread.inflight.pop
+                rob_popleft = rob.popleft
                 while budget > 0 and rob and rob[0].done:
-                    instr = rob.popleft()
-                    thread.inflight.pop(instr.seq, None)
-                    self._release_back_end(thread, instr)
-                    self.stats.committed[thread.tid] += 1
-                    if self.bbv is not None and instr.op in OpClass.CTRL_OPS:
-                        self.bbv.note(thread.tid, instr.pc)
-                    if self.trace is not None:
-                        self.trace.note("R", self.cycle, instr)
+                    instr = rob_popleft()
+                    inflight_pop(instr.seq, None)
+                    # _release_back_end inlined (the commit loop retires
+                    # every instruction); keep in sync with the method,
+                    # which the squash path still uses.
+                    if instr.uses_int_rename:
+                        thread.ren_int -= 1
+                        self.ren_int_total -= 1
+                    elif instr.uses_fp_rename:
+                        thread.ren_fp -= 1
+                        self.ren_fp_total -= 1
+                    if instr.uses_lsq:
+                        thread.lsq -= 1
+                        self.lsq_total -= 1
+                    self.rob_total -= 1
+                    committed[tid] += 1
+                    if bbv is not None and instr.op in ctrl_ops:
+                        bbv.note(tid, instr.pc)
+                    if trace is not None:
+                        trace.note("R", self.cycle, instr)
                     budget -= 1
                     progress = True
 
@@ -390,17 +560,18 @@ class SMTProcessor:
         fadd = config.fu_fp_add
         fmul = config.fu_fp_mul
         stash = []
+        issue_one = self._issue_one
         while ready and budget > 0:
-            order, instr, gen = heapq.heappop(ready)
+            order, instr, gen = heappop(ready)
             if instr.gen != gen or instr.squashed or instr.issued:
                 continue
             op = instr.op
-            if op == OpClass.LOAD or op == OpClass.STORE:
+            if op == _LOAD or op == _STORE:
                 if mem == 0:
                     stash.append((order, instr, gen))
                     continue
                 mem -= 1
-            elif op == OpClass.IMUL:
+            elif op == _IMUL:
                 if mul == 0:
                     stash.append((order, instr, gen))
                     continue
@@ -420,53 +591,45 @@ class SMTProcessor:
                     stash.append((order, instr, gen))
                     continue
                 alu -= 1
-            self._issue_one(cycle, instr)
+            issue_one(cycle, instr)
             budget -= 1
         for entry in stash:
-            heapq.heappush(ready, entry)
+            heappush(ready, entry)
 
     def _issue_one(self, cycle, instr):
-        config = self.config
         thread = self.threads[instr.thread]
         instr.issued = True
         if self.trace is not None:
             self.trace.note("I", cycle, instr)
         op = instr.op
-        if op in OpClass.FP_OPS:
+        if instr.is_fp:
             thread.iq_fp -= 1
             self.iq_fp_total -= 1
         else:
             thread.iq_int -= 1
             self.iq_int_total -= 1
-        if op == OpClass.LOAD:
+        if op == _LOAD:
             result = self.hierarchy.load(instr.addr, cycle)
             latency = result.latency
             instr.mem_level = result.level
-            self.stats.loads[instr.thread] += 1
+            stats = self.stats
+            stats.loads[instr.thread] += 1
             if result.missed_l1:
                 thread.outstanding_l1 += 1
             if result.missed_l2:
                 thread.outstanding_l2 += 1
-                self.stats.l2_misses[instr.thread] += 1
+                stats.l2_misses[instr.thread] += 1
                 if self.policy.wants_miss_detection:
-                    heapq.heappush(
+                    heappush(
                         self._detections,
                         (cycle + self._detect_latency, instr.order, instr, instr.gen),
                     )
-        elif op == OpClass.STORE:
+        elif op == _STORE:
             self.hierarchy.store(instr.addr, cycle)
-            latency = config.lat_store
-        elif op == OpClass.IALU:
-            latency = config.lat_int_alu
-        elif op == OpClass.IMUL:
-            latency = config.lat_int_mul
-        elif op == OpClass.FADD:
-            latency = config.lat_fp_add
-        elif op == OpClass.FMUL:
-            latency = config.lat_fp_mul
-        else:  # control
-            latency = config.lat_branch
-        heapq.heappush(
+            latency = self._op_latency[op]
+        else:
+            latency = self._op_latency[op]
+        heappush(
             self._completions, (cycle + latency, instr.order, instr, instr.gen)
         )
 
@@ -480,7 +643,7 @@ class SMTProcessor:
         if len(thread.rob) >= partitions.limit_rob[tid]:
             return False
         op = instr.op
-        if op in OpClass.FP_OPS:
+        if instr.is_fp:
             if self.iq_fp_total >= config.iq_fp_size:
                 return False
             if self.ren_fp_total >= config.rename_fp:
@@ -495,7 +658,7 @@ class SMTProcessor:
                     return False
                 if thread.ren_int >= partitions.limit_int_rename[tid]:
                     return False
-        if op == OpClass.LOAD or op == OpClass.STORE:
+        if op == _LOAD or op == _STORE:
             if self.lsq_total >= config.lsq_size:
                 return False
         return True
@@ -508,31 +671,36 @@ class SMTProcessor:
         num = self.num_threads
         start = self._dispatch_rr
         self._dispatch_rr = (start + 1) % num
+        can_dispatch = self._can_dispatch
+        dispatch_one = self._dispatch_one
         for offset in range(num):
             if budget == 0:
                 break
             thread = threads[(start + offset) % num]
-            if thread.tid not in self.enabled and not thread.ifq:
-                continue
+            # Disabled threads still drain their IFQ; an empty IFQ makes
+            # the enabled check (and the dispatch loop) moot either way.
             ifq = thread.ifq
+            if not ifq:
+                continue
             while budget > 0 and ifq:
                 instr = ifq[0]
-                if not self._can_dispatch(thread, instr):
+                if not can_dispatch(thread, instr):
                     break
                 ifq.popleft()
                 self.ifq_total -= 1
-                self._dispatch_one(thread, instr)
+                dispatch_one(thread, instr)
                 budget -= 1
 
     def _dispatch_one(self, thread, instr):
         if self.trace is not None:
             self.trace.note("D", self.cycle, instr)
         instr.dispatched = True
-        instr.order = self._order
-        self._order += 1
+        order = self._order
+        instr.order = order
+        self._order = order + 1
         instr.dependents = []
         op = instr.op
-        if op in OpClass.FP_OPS:
+        if instr.is_fp:
             thread.iq_fp += 1
             self.iq_fp_total += 1
             instr.uses_fp_rename = True
@@ -545,23 +713,24 @@ class SMTProcessor:
                 instr.uses_int_rename = True
                 thread.ren_int += 1
                 self.ren_int_total += 1
-        if op == OpClass.LOAD or op == OpClass.STORE:
+        if op == _LOAD or op == _STORE:
             instr.uses_lsq = True
             thread.lsq += 1
             self.lsq_total += 1
         thread.rob.append(instr)
         self.rob_total += 1
-        thread.inflight[instr.seq] = instr
-        remaining = 0
         inflight = thread.inflight
+        inflight[instr.seq] = instr
+        remaining = 0
+        inflight_get = inflight.get
         for src in instr.srcs:
-            producer = inflight.get(src)
+            producer = inflight_get(src)
             if producer is not None and not producer.done and producer is not instr:
                 producer.dependents.append((instr, instr.gen))
                 remaining += 1
         instr.remaining_srcs = remaining
         if remaining == 0:
-            heapq.heappush(self._ready, (instr.order, instr, instr.gen))
+            heappush(self._ready, (order, instr, instr.gen))
 
     def _fetch_eligible(self, cycle):
         """Threads allowed to fetch this cycle, with partition-stall and
@@ -569,18 +738,22 @@ class SMTProcessor:
         eligible = []
         partitions = self.partitions
         stats = self.stats
+        enabled = self.enabled
+        limit_int_rename = partitions.limit_int_rename
+        limit_int_iq = partitions.limit_int_iq
+        limit_rob = partitions.limit_rob
         for thread in self.threads:
             tid = thread.tid
-            if tid not in self.enabled:
+            if tid not in enabled:
                 continue
             if thread.policy_locked:
                 stats.lock_cycles[tid] += 1
                 continue
             if cycle < thread.fetch_blocked_until:
                 continue
-            if (thread.ren_int >= partitions.limit_int_rename[tid]
-                    or thread.iq_int >= partitions.limit_int_iq[tid]
-                    or len(thread.rob) >= partitions.limit_rob[tid]):
+            if (thread.ren_int >= limit_int_rename[tid]
+                    or thread.iq_int >= limit_int_iq[tid]
+                    or len(thread.rob) >= limit_rob[tid]):
                 stats.partition_stall_cycles[tid] += 1
                 continue
             eligible.append(tid)
@@ -600,26 +773,29 @@ class SMTProcessor:
             budget = self._fetch_thread(cycle, self.threads[tid], budget)
 
     def _fetch_thread(self, cycle, thread, budget):
-        config = self.config
         refetch = thread.refetch
-        stream = thread.stream
+        next_instruction = thread.stream.next_instruction
         ifq = thread.ifq
+        ifq_size = self.config.ifq_size
+        ifetch = self.hierarchy.ifetch
+        predict = self._predict
+        trace = self.trace
         while budget > 0:
-            if self.ifq_total >= config.ifq_size:
+            if self.ifq_total >= ifq_size:
                 break
-            instr = refetch.popleft() if refetch else stream.next_instruction()
+            instr = refetch.popleft() if refetch else next_instruction()
             # Instruction-cache access, one probe per new fetch block.
             block = instr.pc >> 6
             if block != thread.last_fetch_block:
-                result = self.hierarchy.ifetch(instr.pc, cycle)
+                result = ifetch(instr.pc, cycle)
                 thread.last_fetch_block = block
                 if result.missed_l1:
                     thread.fetch_blocked_until = cycle + result.latency
                     refetch.appendleft(instr)
                     break
-            predicted_taken = self._predict(thread, instr)
-            if self.trace is not None:
-                self.trace.note("F", cycle, instr)
+            predicted_taken = predict(thread, instr)
+            if trace is not None:
+                trace.note("F", cycle, instr)
             ifq.append(instr)
             self.ifq_total += 1
             budget -= 1
@@ -634,7 +810,7 @@ class SMTProcessor:
         (predicted-taken control flow).
         """
         op = instr.op
-        if op == OpClass.BRANCH:
+        if op == _BRANCH:
             prediction = self.predictors[thread.tid].predict(instr.pc)
             instr.prediction = prediction
             mispredicted = prediction.taken != instr.taken
@@ -643,10 +819,10 @@ class SMTProcessor:
                 mispredicted = True  # correct direction but no target: misfetch
             instr.mispredicted = mispredicted
             return prediction.taken
-        if op == OpClass.CALL:
+        if op == _CALL:
             thread.ras.push(instr.pc + 4)
             return True
-        if op == OpClass.RETURN:
+        if op == _RETURN:
             instr.mispredicted = thread.ras.pop() is None
             return True
         return False
@@ -678,13 +854,13 @@ class SMTProcessor:
             if self.trace is not None:
                 self.trace.note("x", self.cycle, instr)
             if not instr.issued:
-                if instr.op in OpClass.FP_OPS:
+                if instr.is_fp:
                     thread.iq_fp -= 1
                     self.iq_fp_total -= 1
                 else:
                     thread.iq_int -= 1
                     self.iq_int_total -= 1
-            elif not instr.done and instr.op == OpClass.LOAD:
+            elif not instr.done and instr.op == _LOAD:
                 level = instr.mem_level
                 if level is not None and level != "L1":
                     thread.outstanding_l1 -= 1

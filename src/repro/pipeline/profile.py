@@ -1,0 +1,81 @@
+"""Throughput observability for the simulator cores.
+
+A :class:`CoreProfile` rides the processor like the pipeline tracer does
+(``proc.profile = CoreProfile()``; default ``None`` = off) and makes the
+instrumented run loop count, per cycle, which stages materially advanced
+machine state, plus how many cycles the fast core skipped and in how many
+jumps.  The counters live on this object — the processor itself carries
+only the ``profile`` reference, which harnesses detach (reset to ``None``)
+before checkpointing, so profiled and unprofiled machines pickle
+identically.
+
+Instrumentation never feeds back into simulation state: a profiled run
+produces byte-identical stats to an unprofiled one, under either core.
+Wall-clock timing (KIPS) deliberately lives in the harness
+(:mod:`repro.experiments.profiling`), not here, keeping this module free
+of nondeterminism.
+"""
+
+from dataclasses import dataclass, field
+
+__all__ = ["STAGES", "CoreProfile"]
+
+#: Stage keys of :attr:`CoreProfile.active_cycles`, pipeline order
+#: (back to front, as the run loop executes them), plus ``idle`` for
+#: executed cycles in which no stage made progress — the quiescent cycles
+#: the reference core grinds through and the fast core skips.
+STAGES = ("complete", "detect", "commit", "issue", "dispatch", "fetch",
+          "idle")
+
+
+def _fresh_stage_counts():
+    return {stage: 0 for stage in STAGES}
+
+
+@dataclass
+class CoreProfile:
+    """Cycle-accounting counters for one (or more) ``run`` windows.
+
+    ``active_cycles[stage]`` counts executed cycles in which that stage
+    materially advanced state (an instruction completed, committed,
+    issued, dispatched or fetched; a detection fired).  A single cycle can
+    credit several stages.  ``skipped_cycles``/``skip_events`` count the
+    fast core's event-horizon jumps; both stay zero under the reference
+    core, which makes the profile double as a skip-coverage probe.
+    """
+
+    #: Cycles stepped one at a time through the pipeline stages.
+    executed_cycles: int = 0
+    #: Cycles fast-forwarded over by the quiescence detector.
+    skipped_cycles: int = 0
+    #: Number of event-horizon jumps (skips) taken.
+    skip_events: int = 0
+    #: Executed cycles in which each stage advanced state.
+    active_cycles: dict = field(default_factory=_fresh_stage_counts)
+
+    def note_skip(self, num_cycles):
+        """Record one event-horizon jump of ``num_cycles`` cycles."""
+        self.skipped_cycles += num_cycles
+        self.skip_events += 1
+
+    @property
+    def total_cycles(self):
+        """Simulated cycles observed (executed + skipped)."""
+        return self.executed_cycles + self.skipped_cycles
+
+    @property
+    def skip_ratio(self):
+        """Fraction of simulated cycles fast-forwarded over (0.0 under
+        the reference core)."""
+        total = self.total_cycles
+        return self.skipped_cycles / total if total else 0.0
+
+    def to_dict(self):
+        """JSON-ready counter snapshot (the ``repro profile`` report)."""
+        return {
+            "executed_cycles": self.executed_cycles,
+            "skipped_cycles": self.skipped_cycles,
+            "skip_events": self.skip_events,
+            "skip_ratio": self.skip_ratio,
+            "stage_cycles": dict(self.active_cycles),
+        }

@@ -10,6 +10,10 @@ A policy plugs into the processor at four points:
 * ``on_epoch_end`` — invoked by the epoch controller with the epoch's
   performance feedback; learning policies reprogram the partition
   registers here.
+* ``quiescent_wake`` / ``on_quiesce`` — the fast-forward core's contract
+  (docs/INTERNALS.md): a policy declares when its ``on_cycle`` next needs
+  a real cycle, and replays its per-cycle bookkeeping over skipped
+  quiescent stretches.
 """
 
 
@@ -53,6 +57,35 @@ class ResourcePolicy:
         """Called before each epoch; return ``None`` for a normal epoch or a
         thread id to request a solo (SingleIPC-sampling) epoch."""
         return None
+
+    def quiescent_wake(self, proc):
+        """Fast-forward contract: earliest future cycle at which this
+        policy's ``on_cycle`` could change machine-visible state while the
+        pipeline itself is quiescent, or ``None`` for "never".
+
+        The fast core only skips cycles it can prove are no-ops, and a
+        policy's ``on_cycle`` runs every cycle in the reference loop — so
+        a skip is only legal if the policy certifies that its skipped
+        ``on_cycle`` invocations would not have touched anything.
+        Returning ``proc.cycle`` (or any value ``<= proc.cycle``) vetoes
+        the skip entirely; returning a future cycle caps the skip there.
+
+        The default is byte-identity-safe for every subclass: policies
+        that inherit the no-op ``on_cycle`` never need waking, and any
+        policy that overrides ``on_cycle`` without also declaring its wake
+        schedule is conservatively never skipped past.
+        """
+        if type(self).on_cycle is ResourcePolicy.on_cycle:
+            return None
+        return proc.cycle
+
+    def on_quiesce(self, proc, start_cycle, num_cycles):
+        """The fast core skipped cycles ``[start_cycle, start_cycle +
+        num_cycles)``; replay any per-cycle bookkeeping those ``on_cycle``
+        invocations would have done (e.g. advancing an update-interval
+        counter), byte-identically.  ``proc.cycle`` is still
+        ``start_cycle`` when this runs.  Machine-visible state must not
+        change here — anything visible belongs in ``quiescent_wake``."""
 
     def __repr__(self):
         return "<%s %s>" % (type(self).__name__, self.name)

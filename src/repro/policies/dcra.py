@@ -55,6 +55,31 @@ class DCRAPolicy(ResourcePolicy):
         if classes != self._last_classes:
             self._recompute(proc, classes)
 
+    def quiescent_wake(self, proc):
+        """Fast-forward contract: during quiescence ``outstanding_l1`` is
+        frozen, so re-sampling can only change the partitions when the
+        classification has already drifted from the last one programmed —
+        then the next sample point is a real update and caps the skip.
+        Otherwise every skipped sample would be a no-op re-program of the
+        same classes, and only ``_next_update`` needs replaying."""
+        classes = tuple(
+            thread.outstanding_l1 > 0 for thread in proc.threads
+        )
+        if classes != self._last_classes:
+            return max(proc.cycle, self._next_update)
+        return None
+
+    def on_quiesce(self, proc, start_cycle, num_cycles):
+        """Replay the skipped samples' ``_next_update`` advance in closed
+        form: the first skipped cycle at or past ``_next_update`` samples
+        and re-arms, then every ``update_interval`` cycles after it."""
+        last = start_cycle + num_cycles - 1
+        first = max(start_cycle, self._next_update)
+        if first <= last:
+            interval = self.update_interval
+            self._next_update = first + interval * ((last - first) // interval) \
+                + interval
+
     def _recompute(self, proc, classes):
         """Program per-structure caps from the fast/slow classification."""
         self._last_classes = classes

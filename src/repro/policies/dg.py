@@ -34,6 +34,17 @@ class DGPolicy(ResourcePolicy):
         for thread in proc.threads:
             thread.policy_locked = thread.outstanding_l1 >= threshold
 
+    def quiescent_wake(self, proc):
+        """Fast-forward contract: ``outstanding_l1`` only changes at issue
+        and completion, so during quiescence the skipped re-evaluations
+        are no-ops whenever every lock already agrees with the counters;
+        a disagreement means this very cycle's ``on_cycle`` matters."""
+        threshold = self.threshold
+        for thread in proc.threads:
+            if thread.policy_locked != (thread.outstanding_l1 >= threshold):
+                return proc.cycle
+        return None
+
 
 class PDGPolicy(ResourcePolicy):
     """Gate fetch when a miss predictor expects the thread's recent loads
@@ -80,3 +91,18 @@ class PDGPolicy(ResourcePolicy):
         cycle = proc.cycle
         for thread in proc.threads:
             thread.policy_locked = cycle < self._gate_until[thread.tid]
+
+    def quiescent_wake(self, proc):
+        """Fast-forward contract: gates are only armed at load completion,
+        so during quiescence the earliest state change is the next pending
+        gate expiry (the cycle whose ``on_cycle`` drops the lock).  A lock
+        that already disagrees with its gate vetoes the skip outright."""
+        cycle = proc.cycle
+        wake = None
+        for thread in proc.threads:
+            until = self._gate_until[thread.tid]
+            if thread.policy_locked != (cycle < until):
+                return cycle
+            if until > cycle and (wake is None or until < wake):
+                wake = until
+        return wake

@@ -48,6 +48,18 @@ class FPGPolicy(ResourcePolicy):
             self._last_branches[tid] = stats.branches[tid]
             self._last_mispredicts[tid] = stats.mispredicts[tid]
 
+    def quiescent_wake(self, proc):
+        """Fast-forward contract: goodness only moves when branches
+        resolve, and none can resolve during quiescence — so the skipped
+        ``on_cycle`` invocations are no-ops once any already-resolved
+        branches have been folded in (an unfolded delta vetoes the skip)."""
+        branches = proc.stats.branches
+        last = self._last_branches
+        for tid in range(proc.num_threads):
+            if branches[tid] != last[tid]:
+                return proc.cycle
+        return None
+
     def fetch_priority(self, proc, eligible):
         threads = proc.threads
         return sorted(

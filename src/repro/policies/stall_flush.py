@@ -77,3 +77,25 @@ class StallFlushPolicy(ResourcePolicy):
         proc.stats.flushes[victim] += 1
         self._flushed.add((victim, seq, gen))
         # The lock stays until the triggering load returns.
+
+    def quiescent_wake(self, proc):
+        """Fast-forward contract: occupancies are frozen during
+        quiescence, so whether ``on_cycle`` would flush is decided *now* —
+        a pending (pressure + unflushed victim) flush vetoes the skip, and
+        otherwise no skipped cycle could trigger one (locks only change at
+        detection/completion/squash events, which cap the horizon)."""
+        if not self._waiting:
+            return None
+        config = proc.config
+        exhausted = (
+            proc.rob_total >= self.pressure * config.rob_size
+            or proc.iq_int_total >= self.pressure * config.iq_int_size
+            or proc.ren_int_total >= self.pressure * config.rename_int
+        )
+        if not exhausted:
+            return None
+        flushed = self._flushed
+        for tid, waiting in self._waiting.items():
+            if (tid,) + waiting not in flushed:
+                return proc.cycle
+        return None

@@ -211,6 +211,15 @@ class MisbehavingPolicy(ResourcePolicy):
     def on_cycle(self, proc):
         self.inner.on_cycle(proc)
 
+    def quiescent_wake(self, proc):
+        # Corruption happens at epoch ends only, so the wrapper adds no
+        # per-cycle behaviour of its own: the inner policy's fast-forward
+        # contract is the wrapper's.
+        return self.inner.quiescent_wake(proc)
+
+    def on_quiesce(self, proc, start_cycle, num_cycles):
+        self.inner.on_quiesce(proc, start_cycle, num_cycles)
+
     def on_l2_miss_detected(self, proc, instr):
         self.inner.on_l2_miss_detected(proc, instr)
 

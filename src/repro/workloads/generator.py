@@ -67,8 +67,22 @@ class Instruction:
         self.pc = pc
         self.taken = taken
         self.addr = addr
-        self.gen = -1
-        self.reset()
+        # reset() inlined — construction is the hottest allocation site in
+        # the simulator; keep the dynamic-state fields in sync with reset().
+        self.gen = 0
+        self.order = 0
+        self.remaining_srcs = 0
+        self.dependents = None
+        self.dispatched = False
+        self.issued = False
+        self.done = False
+        self.squashed = False
+        self.prediction = None
+        self.mispredicted = False
+        self.mem_level = None
+        self.uses_int_rename = False
+        self.uses_fp_rename = False
+        self.uses_lsq = False
 
     def reset(self):
         """Clear dynamic pipeline state (called on fetch and re-fetch).
@@ -153,20 +167,43 @@ class SyntheticStream:
             else:
                 bias = 0.2 + 0.6 * site_rng.random()
             self._branch_bias.append(bias)
+        # Hot-path precomputation: cumulative op-class thresholds (same
+        # left-to-right float addition order as the original inline sums,
+        # so the draws compare bit-identically), address bases, and a
+        # phase-parameter cache that only re-derives params at phase
+        # boundaries instead of per instruction.
+        self._cum_load = profile.load_frac
+        self._cum_store = profile.load_frac + profile.store_frac
+        self._cum_branch = (profile.load_frac + profile.store_frac
+                            + profile.branch_frac)
+        self._cum_fp = (profile.load_frac + profile.store_frac
+                        + profile.branch_frac + profile.fp_frac)
+        self._call_frac_2x = 2 * profile.call_frac
+        self._code_base = self._base + 0x4000_0000
+        self._branch_base = self._base + 0x4800_0000
+        self._params_cached = None
+        self._params_expiry = -1  # seq at which the cached params lapse
 
     # -- phase handling ----------------------------------------------------
 
     def _current_params(self):
+        seq = self.seq
+        if seq < self._params_expiry:
+            return self._params_cached
         profile = self.profile
         freq = profile.freq.value
         if freq == "No":
-            return profile.phase_a
+            self._params_cached = profile.phase_a
+            self._params_expiry = float("inf")
+            return self._params_cached
         period = self.phase_period
         if freq == "Low":
             period *= profile.low_freq_multiple
-        if (self.seq // period) % 2 == 0:
-            return profile.phase_a
-        return profile.phase_b
+        index = seq // period
+        self._params_cached = profile.phase_a if index % 2 == 0 \
+            else profile.phase_b
+        self._params_expiry = (index + 1) * period
+        return self._params_cached
 
     @property
     def phase_index(self):
@@ -278,14 +315,14 @@ class SyntheticStream:
         profile = self.profile
         rng = self.rng
         seq = self.seq
-        pc = self._base + 0x4000_0000 + (seq % self._code_words) * 4
+        pc = self._code_base + (seq % self._code_words) * 4
 
         draw = rng.random()
         taken = False
         addr = None
         is_fp = False
 
-        if draw < profile.load_frac:
+        if draw < self._cum_load:
             op = OpClass.LOAD
             addr, kind = self._pick_address(params)
             if kind == "trigger":
@@ -302,29 +339,27 @@ class SyntheticStream:
                     if self._last_trigger_seq is not None else ()
             else:
                 srcs = self._pick_sources(params)
-        elif draw < profile.load_frac + profile.store_frac:
+        elif draw < self._cum_store:
             op = OpClass.STORE
             addr, __ = self._pick_address(params)
             srcs = self._pick_sources(params)
-        elif draw < profile.load_frac + profile.store_frac + profile.branch_frac:
+        elif draw < self._cum_branch:
             call_draw = rng.random()
             if call_draw < profile.call_frac and self._call_depth < 32:
                 op = OpClass.CALL
                 self._call_depth += 1
                 taken = True
-            elif call_draw < 2 * profile.call_frac and self._call_depth > 0:
+            elif call_draw < self._call_frac_2x and self._call_depth > 0:
                 op = OpClass.RETURN
                 self._call_depth -= 1
                 taken = True
             else:
                 op = OpClass.BRANCH
                 site = self._branch_site()
-                pc = self._base + 0x4800_0000 + site * 4
+                pc = self._branch_base + site * 4
                 taken = rng.random() < self._branch_bias[site]
             srcs = self._pick_sources(params)
-        elif profile.fp_frac and draw < (
-            profile.load_frac + profile.store_frac + profile.branch_frac + profile.fp_frac
-        ):
+        elif profile.fp_frac and draw < self._cum_fp:
             op = OpClass.FMUL if rng.random() < 0.4 else OpClass.FADD
             is_fp = True
             srcs = self._pick_sources(params)
@@ -357,3 +392,4 @@ class SyntheticStream:
         self._call_depth = depth
         self._far_debt = far_debt
         self._l2_debt = l2_debt
+        self._params_expiry = -1  # re-derive phase params at the new seq

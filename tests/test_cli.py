@@ -108,3 +108,78 @@ class TestBadNames:
                   "--policies", "ICOUNT", "BOGUS"])
         assert excinfo.value.code == 2
         assert "BOGUS" in capsys.readouterr().err
+
+
+class TestProfileCommand:
+    def test_profile_smoke(self, capsys, tmp_path):
+        out = tmp_path / "profile.json"
+        main(["profile", "--workload", "art-mcf", "--policy", "FLUSH",
+              "--scale", "smoke", "--out", str(out)])
+        text = capsys.readouterr().out
+        assert "KIPS" in text and "skip ratio" in text
+        assert "fast-core speedup" in text
+        import json
+
+        records = json.loads(out.read_text())["records"]
+        assert set(records) == {"fast", "reference"}
+        # Both cores simulated the identical window.
+        assert records["fast"]["cycles"] == records["reference"]["cycles"]
+        assert records["fast"]["committed"] == \
+            records["reference"]["committed"]
+        assert records["reference"]["skip_events"] == 0
+
+    def test_profile_single_core(self, capsys):
+        main(["profile", "--workload", "art-mcf", "--scale", "smoke",
+              "--cores", "fast"])
+        text = capsys.readouterr().out
+        assert "fast" in text
+        assert "speedup" not in text
+
+    def test_unknown_policy_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["profile", "--workload", "art-mcf", "--policy", "WARP",
+                  "--scale", "smoke"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "WARP" in err
+
+    def test_unknown_workload_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["profile", "--workload", "quake3", "--scale", "smoke"])
+        assert excinfo.value.code == 2
+        assert "quake3" in capsys.readouterr().err
+
+    def test_unknown_core_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["profile", "--workload", "art-mcf", "--scale", "smoke",
+                  "--cores", "turbo"])
+        assert excinfo.value.code == 2
+
+
+class TestCoreEnvValidation:
+    """A bad REPRO_CORE fails fast with the standard exit-2 error on any
+    simulation command, before any cycles run."""
+
+    def test_run_rejects_bad_core(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CORE", "turbo")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--workload", "art-mcf", "--policy", "ICOUNT",
+                  "--scale", "smoke"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "REPRO_CORE" in err and "turbo" in err
+
+    def test_profile_rejects_bad_core(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CORE", "turbo")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["profile", "--workload", "art-mcf", "--scale", "smoke"])
+        assert excinfo.value.code == 2
+        assert "REPRO_CORE" in capsys.readouterr().err
+
+    def test_reference_core_accepted(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CORE", "reference")
+        main(["run", "--workload", "art-mcf", "--policy", "ICOUNT",
+              "--scale", "smoke", "--epochs", "2"])
+        assert "weighted IPC" in capsys.readouterr().out
