@@ -23,7 +23,19 @@ Commands
     Run a (workload x policy x seed) grid over a process pool
     (``--jobs N``) with content-addressed on-disk result caching,
     JSONL progress events, optional crash-safe per-cell resume, and a
-    deterministic merged-JSON export (see docs/PARALLEL.md).
+    deterministic merged-JSON export (see docs/PARALLEL.md).  Cells run
+    under the sweep supervisor: per-cell heartbeat timeouts
+    (``--cell-timeout``), retry with deterministic backoff
+    (``--max-attempts``), pool rebuild after a worker death, quarantine
+    of repeat offenders, and degrade-to-serial (``--no-degrade``
+    disables; docs/RELIABILITY.md "Sweep supervision").  Exits 1 when
+    cells were quarantined (partial results), 2 on a worker bootstrap
+    failure.
+``chaos``
+    Fault-injection harness for the sweep supervisor: run a tiny grid
+    while SIGKILLing/hanging/corrupting workers per ``--preset`` and
+    verify the merged results converge to a fault-free serial
+    reference.  Exits non-zero when they do not.
 ``profile``
     Simulator throughput: run one workload/policy under the fast
     and/or reference core and report wall time, KIPS, skip ratio and
@@ -352,6 +364,22 @@ def _print_sweep_event(record):
         print("[sweep] finished: %d cells (%d cached, %d simulated) "
               "in %.1fs" % (record["total"], record["cached"],
                             record["simulated"], record["wall_s"]))
+    elif event == "cell-retry":
+        print("[sweep] retrying %s (attempt %d in %.1fs): %s"
+              % (record["cell"], record["attempt"], record["delay_s"],
+                 record["error"]))
+    elif event == "cell-timeout":
+        print("[sweep] %s heartbeat stale for %.0fs — killing its worker"
+              % (record["cell"], record["timeout_s"]))
+    elif event == "cell-quarantined":
+        print("[sweep] quarantined %s after %d attempts: %s"
+              % (record["cell"], record["attempts"], record["error"]))
+    elif event == "pool-broken":
+        print("[sweep] worker pool broke (%d so far); rebuilding"
+              % record["breaks"])
+    elif event == "sweep-degraded":
+        print("[sweep] degrading to in-process serial execution: %s"
+              % record["reason"])
 
 
 def cmd_sweep(args):
@@ -362,8 +390,17 @@ def cmd_sweep(args):
         grid_cells,
         merged_json,
     )
+    from repro.reliability.supervisor import (
+        CellBootstrapError,
+        Supervision,
+        SweepAborted,
+    )
 
     scale = _scale_from(args)
+    if args.cell_timeout is not None and args.cell_timeout <= 0:
+        _fail("--cell-timeout must be a positive number of seconds")
+    if args.max_attempts < 1:
+        _fail("--max-attempts must be >= 1")
     groups = list(args.groups or [])
     policies = list(args.policies or [])
     if args.preset is not None:
@@ -387,16 +424,35 @@ def cmd_sweep(args):
         scale, jobs=args.jobs, cache_dir=args.cache_dir,
         events_path=args.events, resume_dir=args.resume_dir,
         use_cache=not args.no_cache,
+        supervision=Supervision(cell_timeout=args.cell_timeout,
+                                max_attempts=args.max_attempts,
+                                degrade=not args.no_degrade,
+                                seed=scale.seed),
         on_event=None if args.quiet else _print_sweep_event)
-    results = engine.run_cells(cells)
+    try:
+        results = engine.run_cells(cells)
+    except CellBootstrapError as exc:
+        _fail(str(exc).splitlines()[0])
+    except SweepAborted as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
     rows = [
         [cell.workload, cell.policy, cell.seed, result.avg_ipc,
          result.weighted_ipc, result.harmonic_weighted_ipc]
-        for cell, result in zip(cells, results)
+        for cell, result in zip(cells, results) if result is not None
     ]
     print(format_table(
         ["workload", "policy", "seed", "avg IPC", "weighted IPC",
          "harmonic weighted IPC"], rows))
+    if engine.quarantined:
+        print("%d cell(s) quarantined after repeated failures "
+              "(ledger: %s):" % (len(engine.quarantined),
+                                 engine.quarantine_path))
+        for cell, entry in engine.quarantined.items():
+            error = entry.get("last_error", "").splitlines()
+            print("  %s — %d attempts — %s"
+                  % (cell.label, entry.get("attempts", 0),
+                     error[0] if error else ""))
     if args.out is not None:
         import os
 
@@ -404,8 +460,43 @@ def cmd_sweep(args):
         if out_dir:
             os.makedirs(out_dir, exist_ok=True)
         with open(args.out, "w") as handle:
-            handle.write(merged_json(cells, results, scale))
+            handle.write(merged_json(cells, results, scale,
+                                     quarantined=engine.quarantined))
         print("merged results written to %s" % args.out)
+    return 1 if engine.quarantined else 0
+
+
+def cmd_chaos(args):
+    from repro.reliability.chaos import CHAOS_PRESETS, run_chaos
+
+    scale = _scale_from(args)
+    if args.cell_timeout is not None and args.cell_timeout <= 0:
+        _fail("--cell-timeout must be a positive number of seconds")
+    if args.max_attempts < 1:
+        _fail("--max-attempts must be >= 1")
+    if args.preset not in CHAOS_PRESETS:
+        _fail("unknown chaos preset %r (valid: %s)"
+              % (args.preset, ", ".join(sorted(CHAOS_PRESETS))))
+    report = run_chaos(
+        args.preset, scale, jobs=args.jobs, cell_timeout=args.cell_timeout,
+        max_attempts=args.max_attempts, degrade=not args.no_degrade,
+        keep=args.keep, work_dir=args.work_dir,
+        log=None if args.quiet else (lambda msg: print("[chaos] %s" % msg)))
+    print("[chaos] preset=%s cells=%d retries=%d timeouts=%d "
+          "pool_breaks=%d degraded=%s resumed=%d"
+          % (report["preset"], len(report["cells"]), report["retries"],
+             report["timeouts"], report["pool_breaks"],
+             report["degraded"], report["resumed"]))
+    print("[chaos] quarantined: %d (expected %d)%s"
+          % (len(report["quarantined"]), report["expected_quarantined"],
+             " — " + ", ".join(report["quarantined"])
+             if report["quarantined"] else ""))
+    print("[chaos] merged results %s the fault-free serial reference"
+          % ("match" if report["identical"] else "DIVERGE from"))
+    if report["work_dir"] is not None:
+        print("[chaos] work dir kept at %s" % report["work_dir"])
+    print("[chaos] %s" % ("OK" if report["ok"] else "FAILED"))
+    return 0 if report["ok"] else 1
 
 
 def cmd_profile(args):
@@ -580,10 +671,53 @@ def build_parser():
     sub.add_argument("--resume-dir", default=None, metavar="DIR",
                      help="per-cell crash-safe checkpoints; re-running "
                           "after a kill resumes mid-cell")
+    sub.add_argument("--cell-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="kill and retry a cell whose per-epoch "
+                          "heartbeat goes stale this long (default: no "
+                          "timeout)")
+    sub.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                     help="attempts per cell before it is quarantined "
+                          "(default: 3)")
+    sub.add_argument("--no-degrade", action="store_true",
+                     help="abort instead of falling back to in-process "
+                          "serial execution when the worker pool keeps "
+                          "collapsing")
     sub.add_argument("--quiet", action="store_true",
                      help="suppress live progress lines")
     _add_scale_args(sub)
     sub.set_defaults(func=cmd_sweep)
+
+    sub = commands.add_parser(
+        "chaos",
+        help="fault-injection harness for the sweep supervisor: inject "
+             "worker kills/hangs/corruption and verify convergence")
+    sub.add_argument("--preset", default="kill-one-worker",
+                     choices=("corrupt-result", "flaky-cells",
+                              "hang-one-cell", "kill-one-worker",
+                              "kill-storm", "poison-cell"),
+                     help="fault scenario (see repro.reliability.chaos."
+                          "CHAOS_PRESETS)")
+    sub.add_argument("--jobs", type=int, default=2, metavar="N",
+                     help="worker processes for the chaos sweep")
+    sub.add_argument("--cell-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="override the preset's heartbeat timeout")
+    sub.add_argument("--max-attempts", type=int, default=3, metavar="N")
+    sub.add_argument("--no-degrade", action="store_true",
+                     help="abort instead of degrading to serial when "
+                          "the pool keeps collapsing")
+    sub.add_argument("--keep", action="store_true",
+                     help="keep the chaos work directory (cache, "
+                          "events.jsonl, quarantine ledger)")
+    sub.add_argument("--work-dir", default=None, metavar="DIR",
+                     help="run inside DIR instead of a fresh tempdir")
+    sub.add_argument("--quiet", action="store_true",
+                     help="suppress per-fault progress lines")
+    _add_scale_args(sub)
+    # The grid is 4 smoke-or-larger cells run twice (chaos + reference);
+    # smoke keeps it interactive, like `verify`.
+    sub.set_defaults(func=cmd_chaos, scale="smoke")
 
     sub = commands.add_parser(
         "profile",

@@ -23,6 +23,16 @@ Progress is surfaced as a lightweight JSONL event stream (one object per
 line: sweep/cell lifecycle, done/cached/running counts, ETA, worker
 count) plus an optional ``on_event`` callback for interactive display.
 
+With a :class:`~repro.reliability.supervisor.Supervision` config the
+engine additionally runs every cell under the cell supervisor: per-cell
+heartbeat timeouts, retry with deterministic backoff, pool rebuild after
+``BrokenProcessPool``, quarantine of repeat offenders into a
+``quarantine.jsonl`` ledger, and graceful degrade to in-process serial
+execution (``repro sweep`` enables this by default; see
+docs/RELIABILITY.md "Sweep supervision").  Supervision never changes
+*what* a result is — a fault-free supervised sweep is byte-identical to
+a plain serial one, a contract the ``repro chaos`` harness enforces.
+
 The cache directory defaults to ``$REPRO_CACHE_DIR`` or
 ``~/.cache/repro-sweeps``; ``python -m repro cache info|clear`` inspects
 and empties it.  docs/PARALLEL.md documents the architecture, the key
@@ -31,7 +41,10 @@ derivation and the invalidation rules.
 
 import hashlib
 import json
+import math
 import os
+import sys
+import tempfile
 import time
 from collections import namedtuple
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -40,6 +53,13 @@ from dataclasses import dataclass
 from repro.experiments.export import _jsonable
 from repro.experiments.runner import RunResult, run_policy
 from repro.policies import BASELINE_POLICIES  # repro: allow-reexport[FP005] (registry lookup; per-family sources hash the defining modules)
+from repro.reliability.supervisor import (
+    CellBootstrapError,
+    CellResultError,
+    CellSupervisor,
+    QuarantineLedger,
+    Supervision,
+)
 from repro.workloads.mixes import get_workload, workloads_in_group
 
 DEFAULT_POLICIES = ("ICOUNT", "FLUSH", "DCRA", "HILL")
@@ -204,6 +224,7 @@ _CORE_SOURCES = (
     "experiments/runner.py", "experiments/parallel.py",
     "experiments/export.py",
     "reliability/guard.py", "reliability/invariants.py",
+    "reliability/supervisor.py",
 )
 
 #: Extra sources per policy family; editing one of these invalidates only
@@ -357,6 +378,10 @@ class ResultCache:
     cell holding the cell description (for ``cache info`` debugging) and
     the :meth:`RunResult.to_dict` payload.  Writes are atomic
     (write-to-temp + ``os.replace``); unreadable entries count as misses.
+    A *readable but corrupt* entry (truncated JSON from a crash mid-write
+    elsewhere, a bad payload shape) also counts as a miss and is moved
+    aside to ``<key>.corrupt`` with a one-line warning, so it can never
+    shadow the re-simulated result nor poison later invocations.
     """
 
     def __init__(self, directory=None):
@@ -367,10 +392,20 @@ class ResultCache:
         return os.path.join(self.objects_dir, key[:2], key + ".json")
 
     def get(self, key):
+        path = self._path(key)
         try:
-            with open(self._path(key)) as handle:
+            with open(path) as handle:
                 return RunResult.from_dict(json.load(handle)["result"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            try:
+                os.replace(path, path[:-len(".json")] + ".corrupt")
+            except OSError:
+                pass
+            print("warning: corrupt cache entry %s… treated as a miss, "
+                  "moved to .corrupt (%s: %s)"
+                  % (key[:12], type(exc).__name__, exc), file=sys.stderr)
             return None
 
     def put(self, key, cell, result):
@@ -422,7 +457,19 @@ class ResultCache:
 # ----------------------------------------------------------------------
 
 
-def _execute_cell(cell, scale, resume_dir):
+def _touch_heartbeat(path):
+    """Create-or-touch one heartbeat file; never raises (a full disk must
+    not turn a healthy cell into a 'hung' one mid-run)."""
+    try:
+        with open(path, "a"):
+            pass
+        os.utime(path, None)
+    except OSError:
+        pass
+
+
+def _execute_cell(cell, scale, resume_dir, heartbeat_path=None, attempt=1,
+                  fault_plan=None):
     """Simulate one cell (runs inside a worker process).
 
     With ``resume_dir`` the run goes through the PR 1 resilient runner:
@@ -431,26 +478,81 @@ def _execute_cell(cell, scale, resume_dir):
     is dropped before caching — it describes the *execution* (retries,
     resume point), not the result, and would break the determinism
     contract between fresh, resumed and cached runs.
+
+    Supervised sweeps additionally pass a ``heartbeat_path`` (touched
+    once per completed epoch through the guard's ``on_epoch`` hook, so
+    the parent can tell slow from hung), the 1-based ``attempt`` number,
+    and optionally a chaos ``fault_plan`` (duck-typed, picklable; see
+    :mod:`repro.reliability.chaos`) whose hooks perturb this attempt.
+    Failures raised while *constructing* the cell — unknown workload or
+    policy, a broken registry inside the child — are wrapped in
+    :class:`~repro.reliability.supervisor.CellBootstrapError`: they are
+    deterministic, so the supervisor aborts instead of retrying.
     """
-    workload = get_workload(cell.workload)
-    policy = policy_factory(cell.policy, scale)()
+    if fault_plan is not None:
+        fault_plan.before_cell(cell, attempt)
+    try:
+        workload = get_workload(cell.workload)
+        policy = policy_factory(cell.policy, scale)()
+    except CellBootstrapError:
+        raise
+    except Exception as exc:
+        raise CellBootstrapError(
+            "cannot construct cell %s: %s: %s"
+            % (cell.label, type(exc).__name__, exc)) from exc
     seeded = (scale if scale.seed == cell.seed
               else scale.with_overrides(seed=cell.seed))
-    if resume_dir is not None:
+    hooks = []
+    if heartbeat_path is not None:
+        _touch_heartbeat(heartbeat_path)
+        hooks.append(lambda epoch_id: _touch_heartbeat(heartbeat_path))
+    if fault_plan is not None:
+        hooks.append(lambda epoch_id: fault_plan.on_epoch(cell, attempt,
+                                                          epoch_id))
+    on_epoch = (None if not hooks
+                else lambda epoch_id: [hook(epoch_id) for hook in hooks])
+    if resume_dir is not None or on_epoch is not None:
         from repro.reliability.guard import run_policy_resilient, run_slug
 
-        run_dir = os.path.join(
-            resume_dir, run_slug(cell.workload, cell.policy, cell.seed))
+        run_dir = None
+        if resume_dir is not None:
+            run_dir = os.path.join(
+                resume_dir, run_slug(cell.workload, cell.policy, cell.seed))
         result = run_policy_resilient(
             workload, policy, seeded, epochs=cell.epochs, run_dir=run_dir,
-            resume=True, sanitize_partitions=False)
+            resume=True, sanitize_partitions=False, on_epoch=on_epoch)
         resumed = bool(result.reliability
                        and result.reliability.get("resumed_from") is not None)
         result.reliability = None
     else:
         result = run_policy(workload, policy, seeded, epochs=cell.epochs)
         resumed = False
+    if fault_plan is not None:
+        result = fault_plan.transform_result(cell, attempt, result)
     return result, resumed
+
+
+def _validate_cell_value(cell, value):
+    """Reject malformed worker payloads *before* they reach the cache.
+
+    A supervised worker must return ``(RunResult, resumed)`` with finite
+    metrics; anything else (a chaos-corrupted payload, a future pickling
+    bug) raises :class:`CellResultError` so the supervisor retries the
+    cell instead of caching garbage.
+    """
+    ok = (isinstance(value, tuple) and len(value) == 2
+          and isinstance(value[0], RunResult)
+          and isinstance(value[1], bool))
+    if ok:
+        result = value[0]
+        values = list(result.ipcs) + [result.avg_ipc, result.weighted_ipc,
+                                      result.harmonic_weighted_ipc]
+        ok = all(isinstance(v, (int, float)) and math.isfinite(v)
+                 for v in values)
+    if not ok:
+        raise CellResultError(
+            "cell %s returned an invalid payload (%r...)"
+            % (cell.label, repr(value)[:80]))
 
 
 def pool_map(fn, tasks, jobs=None):
@@ -462,7 +564,9 @@ def pool_map(fn, tasks, jobs=None):
     top-level function and every argument picklable.
     """
     tasks = list(tasks)
-    if not jobs or jobs <= 1 or len(tasks) <= 1:
+    if not tasks:
+        return []  # never build a pool for zero tasks (max_workers >= 1)
+    if not jobs or jobs <= 1 or len(tasks) == 1:
         return [fn(*args) for args in tasks]
     with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
         futures = [pool.submit(fn, *args) for args in tasks]
@@ -496,12 +600,25 @@ class SweepEngine:
     resume_dir:
         Optional directory for per-cell crash-safe checkpoints; killed
         sweeps resume mid-cell from here (see docs/PARALLEL.md).
+    supervision:
+        Optional :class:`~repro.reliability.supervisor.Supervision`:
+        cells then run under the cell supervisor (heartbeat timeouts,
+        retry with backoff, pool rebuild, quarantine, degrade-to-serial
+        — docs/RELIABILITY.md "Sweep supervision").  ``None`` (default)
+        keeps the classic fail-fast behaviour: the first worker
+        exception propagates.
+    fault_plan:
+        Optional picklable chaos plan (:mod:`repro.reliability.chaos`)
+        whose hooks perturb supervised workers; test/bench-only.
     """
 
     def __init__(self, scale, jobs=1, cache_dir=None, events_path=None,
-                 on_event=None, resume_dir=None, use_cache=True):
+                 on_event=None, resume_dir=None, use_cache=True,
+                 supervision=None, fault_plan=None):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if fault_plan is not None and supervision is None:
+            raise ValueError("fault_plan requires supervision")
         self.scale = scale
         self.jobs = jobs
         self.cache = ResultCache(cache_dir) if use_cache else None
@@ -512,8 +629,29 @@ class SweepEngine:
                 os.makedirs(parent, exist_ok=True)
         self.on_event = on_event
         self.resume_dir = resume_dir
+        self.supervision = supervision
+        self.fault_plan = fault_plan
         self.stats = {"hits": 0, "misses": 0, "resumed": 0}
+        self.quarantined = {}
+        self.supervisor_stats = {"retries": 0, "timeouts": 0,
+                                 "pool_breaks": 0, "degraded": False}
         self._memory = {}
+        self._work_dir = None
+        if supervision is not None:
+            # Heartbeats and the quarantine ledger live next to the
+            # checkpoints when resuming, else in a throwaway directory.
+            self._work_dir = resume_dir or tempfile.mkdtemp(
+                prefix="repro-sweep-")
+            os.makedirs(os.path.join(self._work_dir, "heartbeats"),
+                        exist_ok=True)
+
+    @property
+    def quarantine_path(self):
+        """Path of the ``quarantine.jsonl`` ledger (supervised engines
+        only; ``None`` otherwise)."""
+        if self._work_dir is None:
+            return None
+        return os.path.join(self._work_dir, "quarantine.jsonl")
 
     # -- events ----------------------------------------------------------
 
@@ -568,13 +706,24 @@ class SweepEngine:
         self._emit("sweep-start", total=len(unique), cached=cached,
                    pending=len(pending), jobs=self.jobs)
         if pending:
-            if self.jobs == 1:
+            # An empty pending list short-circuits to a pure-cache merge:
+            # no pool, no supervisor, no max_workers=0 to trip over.
+            if self.supervision is not None:
+                self._run_supervised(pending, cached, len(unique),
+                                     started_at)
+            elif self.jobs == 1:
                 self._run_serial(pending, cached, len(unique), started_at)
             else:
                 self._run_pool(pending, cached, len(unique), started_at)
         self._emit("sweep-done", total=len(unique), cached=cached,
                    simulated=len(pending),
+                   quarantined=len([cell for cell in pending
+                                    if cell in self.quarantined]),
                    wall_s=round(time.time() - started_at, 3))  # repro: allow-nondeterminism[ND101] (wall-clock reporting, not results)
+        if self.supervision is not None:
+            # Quarantined cells have no result; callers get None and the
+            # details through ``quarantined`` / the ledger.
+            return [self._memory.get(cell) for cell in cells]
         return [self._memory[cell] for cell in cells]
 
     def _store(self, cell, result, resumed):
@@ -626,6 +775,81 @@ class SweepEngine:
                         **self._progress(done, cached, len(outstanding),
                                          total, started_at, finished_live))
 
+    # -- supervised execution --------------------------------------------
+
+    def _heartbeat_file(self, cell):
+        from repro.reliability.guard import run_slug
+
+        return os.path.join(
+            self._work_dir, "heartbeats",
+            run_slug(cell.workload, cell.policy, cell.seed) + ".hb")
+
+    def _ledger_info(self, cell):
+        checkpoint = None
+        if self.resume_dir is not None:
+            from repro.reliability.guard import run_slug
+
+            checkpoint = os.path.join(
+                self.resume_dir,
+                run_slug(cell.workload, cell.policy, cell.seed))
+        return {"workload": cell.workload, "policy": cell.policy,
+                "seed": cell.seed, "key": cache_key(cell, self.scale),
+                "checkpoint": checkpoint}
+
+    def _run_supervised(self, pending, cached, total, started_at):
+        """Fan pending cells out under the cell supervisor.
+
+        Lifecycle events come through with the same progress fields as
+        the plain paths, plus the supervisor's own ``cell-retry`` /
+        ``cell-timeout`` / ``cell-quarantined`` / ``pool-broken`` /
+        ``pool-rebuilt`` / ``sweep-degraded`` events.  Completed cells
+        are validated, cached and counted exactly as unsupervised runs,
+        so a fault-free supervised sweep is byte-identical to one.
+        """
+        counters = {"done": cached, "live": 0}
+
+        def forward(event, **fields):
+            if event == "cell-start":
+                running = fields.pop("running", 0)
+                fields.update(self._progress(
+                    counters["done"], cached, running, total, started_at,
+                    counters["live"]))
+            self._emit(event, **fields)
+
+        def on_result(cell, value, running):
+            result, resumed = value
+            self._store(cell, result, resumed)
+            counters["done"] += 1
+            counters["live"] += 1
+            self._emit("cell-done", cell=cell.label, resumed=resumed,
+                       **self._progress(counters["done"], cached, running,
+                                        total, started_at,
+                                        counters["live"]))
+
+        heartbeats = (self._heartbeat_file
+                      if self.supervision.cell_timeout is not None else None)
+
+        def task_args(cell, attempt):
+            return (cell, self.scale, self.resume_dir,
+                    self._heartbeat_file(cell) if heartbeats else None,
+                    attempt, self.fault_plan)
+
+        supervisor = CellSupervisor(
+            worker=_execute_cell, task_args=task_args, jobs=self.jobs,
+            config=self.supervision,
+            item_key=lambda cell: cell.label,
+            item_label=lambda cell: cell.label,
+            heartbeat_path=heartbeats,
+            validate=_validate_cell_value, on_result=on_result,
+            emit=forward, ledger=QuarantineLedger(self.quarantine_path),
+            ledger_info=self._ledger_info)
+        supervisor.run(pending)
+        self.quarantined.update(supervisor.quarantined)
+        self.supervisor_stats["retries"] += supervisor.retries
+        self.supervisor_stats["timeouts"] += supervisor.timeouts
+        self.supervisor_stats["pool_breaks"] += supervisor.pool_breaks
+        self.supervisor_stats["degraded"] |= supervisor.degraded
+
     # -- grid conveniences ----------------------------------------------
 
     def sweep(self, workloads=None, groups=None, policies=DEFAULT_POLICIES,
@@ -663,12 +887,34 @@ class SweepEngine:
 # ----------------------------------------------------------------------
 
 
-def merged_document(cells, results, scale):
+def merged_document(cells, results, scale, quarantined=None):
     """The canonical merged form of one sweep: scale description plus one
     record per cell *in request order* with the full result payload and
-    the three Section 3.1.1 metrics."""
+    the three Section 3.1.1 metrics.
+
+    A partial (supervised) sweep stays valid: cells whose result is
+    ``None`` move to the always-present ``"quarantined"`` section — one
+    record per given-up cell with its attempt count and last error, fed
+    from ``SweepEngine.quarantined``.  A complete sweep serializes with
+    ``"quarantined": []``, so fault-free supervised runs remain
+    byte-identical to plain ones.
+    """
+    quarantined = quarantined or {}
     records = []
+    dropped = []
     for cell, result in zip(cells, results):
+        if result is None:
+            info = quarantined.get(cell, {})
+            last_error = info.get("last_error") or ""
+            dropped.append({
+                "workload": cell.workload,
+                "policy": cell.policy,
+                "seed": cell.seed,
+                "attempts": info.get("attempts"),
+                "last_error": last_error.splitlines()[0] if last_error
+                else "",
+            })
+            continue
         records.append({
             "workload": cell.workload,
             "policy": cell.policy,
@@ -690,20 +936,25 @@ def merged_document(cells, results, scale):
             "warmup": scale.warmup,
         },
         "cells": records,
+        "quarantined": dropped,
     }
 
 
-def merged_json(cells, results, scale):
+def merged_json(cells, results, scale, quarantined=None):
     """Byte-stable JSON of a sweep: independent of job count, completion
     order, caching, and resume history."""
-    return json.dumps(merged_document(cells, results, scale),
+    return json.dumps(merged_document(cells, results, scale,
+                                      quarantined=quarantined),
                       indent=1, sort_keys=True) + "\n"
 
 
 __all__ = [
     "CacheStats",
+    "CellBootstrapError",
+    "CellResultError",
     "DEFAULT_POLICIES",
     "ResultCache",
+    "Supervision",
     "SWEEP_PRESETS",
     "SweepCell",
     "SweepEngine",

@@ -274,7 +274,8 @@ def run_policy_resilient(workload, policy, scale, epochs=None, run_dir=None,
                          resume=False, max_retries=2, livelock_epochs=5,
                          max_wall_seconds=None, max_cycles=None, checker=None,
                          injector=None, sanitize_partitions=True,
-                         checkpoint_period=1, stop_after=None, log=None):
+                         checkpoint_period=1, stop_after=None, log=None,
+                         on_epoch=None):
     """Guarded, checkpointing, resumable version of
     :func:`~repro.experiments.runner.run_policy`.
 
@@ -286,6 +287,12 @@ def run_policy_resilient(workload, policy, scale, epochs=None, run_dir=None,
 
     ``policy`` is used only for a fresh start; on resume the checkpointed
     policy (with its learned state) takes over.
+
+    ``on_epoch``, if given, is called with the completed epoch id after
+    each epoch's checkpoint/manifest writes — a liveness hook: the sweep
+    supervisor touches a per-cell heartbeat file here, which is what lets
+    it tell a slow-but-alive cell from a hung one (docs/RELIABILITY.md,
+    "Sweep supervision").  Exceptions it raises are *not* retried.
     """
     say = log if log is not None else (lambda message: None)
     target = scale.epochs if epochs is None else epochs
@@ -368,6 +375,8 @@ def run_policy_resilient(workload, policy, scale, epochs=None, run_dir=None,
                 "shares": result.shares,
                 "solo_thread": result.solo_thread,
             })
+        if on_epoch is not None:
+            on_epoch(completed)
         if stop_after is not None and ran_this_invocation >= stop_after \
                 and controller.epoch_id < target:
             raise RunInterrupted(

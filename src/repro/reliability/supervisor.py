@@ -1,0 +1,577 @@
+"""Supervised execution of independent sweep cells.
+
+The parallel sweep engine (:mod:`repro.experiments.parallel`) trusts its
+process pool: one hung worker stalls a whole Figure 9 sweep, and a
+SIGKILLed worker surfaces as a raw :class:`BrokenProcessPool` traceback.
+This module adds the missing containment layer — the cell-level analogue
+of PR 1's epoch-level guard:
+
+* **heartbeat timeouts** — each supervised cell touches a per-cell
+  heartbeat file every completed epoch (the ``on_epoch`` hook of
+  :func:`~repro.reliability.guard.run_policy_resilient`); a cell whose
+  heartbeat goes stale for longer than ``cell_timeout`` seconds is
+  declared hung, distinguishing slow-but-alive cells from dead ones;
+* **retry with deterministic backoff** — failed/timed-out cells are
+  retried up to ``max_attempts`` times with exponential backoff whose
+  jitter derives from sha256 of (seed, cell key, attempt), so reruns
+  schedule identically;
+* **pool rebuild** — a :class:`BrokenProcessPool` (worker SIGKILLed, OOM
+  kill) tears the pool down, charges one attempt to every in-flight cell
+  (the executor cannot attribute guilt), and rebuilds;
+* **quarantine** — a cell that exhausts ``max_attempts`` lands in an
+  append-only ``quarantine.jsonl`` ledger (cell key, attempts, last
+  traceback, partial-checkpoint path) and the sweep *continues*;
+* **graceful degrade** — after ``degrade_after_breaks`` consecutive
+  pool collapses with no completed cell in between, remaining cells run
+  in-process serially (disable with ``degrade=False``).
+
+The module is deliberately stdlib-only: it sits inside the sweep cache's
+code-fingerprint closure (``_CORE_SOURCES``), and importing simulation
+modules from here would widen every cell's fingerprint.  All policy about
+*what* a cell is lives in the callbacks the engine provides.
+
+Determinism note: supervision changes how results are *produced*, never
+what they are — retries resume from checkpoints, completed cells are
+validated then cached exactly as unsupervised runs, and a fault-free
+supervised sweep is byte-identical to a plain serial one (proved by
+``repro chaos``; see docs/RELIABILITY.md "Sweep supervision").
+"""
+
+import hashlib
+import heapq
+import json
+import os
+import time
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
+
+
+class SupervisorError(Exception):
+    """Base class for structured failures of a supervised sweep."""
+
+
+class CellBootstrapError(SupervisorError):
+    """A worker could not even *construct* its cell (unimportable policy,
+    broken workload registry inside the child).  Deterministic and fatal:
+    retrying cannot help, so the sweep aborts with this error."""
+
+
+class CellResultError(SupervisorError):
+    """A worker returned a payload that fails validation (wrong type,
+    non-finite metrics, chaos-corrupted bytes).  Retryable."""
+
+
+class SweepAborted(SupervisorError):
+    """The supervisor could not make progress and degrade was disabled."""
+
+
+# ----------------------------------------------------------------------
+# Deterministic backoff
+# ----------------------------------------------------------------------
+
+
+def deterministic_jitter(seed, key, attempt):
+    """A reproducible fraction in [0, 1) from (seed, cell key, attempt).
+
+    sha256 instead of ``random.Random`` keeps the retry schedule out of
+    the determinism lint's RNG rules and makes reruns schedule-identical
+    by construction.
+    """
+    blob = ("%s:%s:%d" % (seed, key, attempt)).encode()
+    word = int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
+    return word / 2.0 ** 64
+
+
+def backoff_delay(attempt, base, cap, seed, key):
+    """Exponential backoff for retry ``attempt`` (1-based): ``base *
+    2**(attempt-1)`` capped at ``cap``, scaled by a deterministic jitter
+    factor in [0.5, 1.5)."""
+    if attempt < 1:
+        raise ValueError("attempt is 1-based, got %d" % attempt)
+    if base <= 0:
+        return 0.0
+    delay = min(cap, base * (2.0 ** (attempt - 1)))
+    return delay * (0.5 + deterministic_jitter(seed, key, attempt))
+
+
+# ----------------------------------------------------------------------
+# Quarantine ledger
+# ----------------------------------------------------------------------
+
+
+class QuarantineLedger:
+    """Append-only JSONL ledger of cells given up on.
+
+    One object per line; tolerant of a torn final line (a kill mid-append
+    loses at most that record).  The sweep engine records the cell key,
+    attempt count, last traceback and partial-checkpoint path, so a
+    quarantined cell can be diagnosed and re-run by hand.
+    """
+
+    def __init__(self, path):
+        self.path = path
+
+    def record(self, entry):
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    def entries(self):
+        if not os.path.exists(self.path):
+            return []
+        records = []
+        with open(self.path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except ValueError:
+                    continue  # torn final line
+        return records
+
+
+# ----------------------------------------------------------------------
+# Supervision policy
+# ----------------------------------------------------------------------
+
+
+class Supervision:
+    """Configuration of the cell supervisor.
+
+    Parameters
+    ----------
+    cell_timeout:
+        Seconds a cell's heartbeat may go stale before it is declared
+        hung and its worker killed.  ``None`` (default) disables timeout
+        detection — crashes and bad payloads are still contained.
+    max_attempts:
+        Attempts per cell before quarantine (>= 1).
+    retry_base_delay / retry_max_delay:
+        Exponential backoff parameters, seconds.
+    degrade:
+        Fall back to in-process serial execution when the pool keeps
+        collapsing; ``False`` raises :class:`SweepAborted` instead.
+    seed:
+        Seeds the deterministic backoff jitter.
+    poll_interval:
+        Supervisor wake-up period, seconds (future wait + heartbeat
+        scan).
+    degrade_after_breaks:
+        Consecutive pool collapses, with no cell completed in between,
+        that trigger the degrade path.
+    """
+
+    def __init__(self, cell_timeout=None, max_attempts=3,
+                 retry_base_delay=0.5, retry_max_delay=30.0, degrade=True,
+                 seed=0, poll_interval=0.2, degrade_after_breaks=2):
+        if cell_timeout is not None and cell_timeout <= 0:
+            raise ValueError("cell_timeout must be positive or None")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if retry_base_delay < 0 or retry_max_delay < 0:
+            raise ValueError("retry delays must be >= 0")
+        if poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        if degrade_after_breaks < 1:
+            raise ValueError("degrade_after_breaks must be >= 1")
+        self.cell_timeout = cell_timeout
+        self.max_attempts = max_attempts
+        self.retry_base_delay = retry_base_delay
+        self.retry_max_delay = retry_max_delay
+        self.degrade = degrade
+        self.seed = seed
+        self.poll_interval = poll_interval
+        self.degrade_after_breaks = degrade_after_breaks
+
+
+# ----------------------------------------------------------------------
+# The supervisor
+# ----------------------------------------------------------------------
+
+
+def _describe_error(exc):
+    """One-line-ish description of a failure, with the remote traceback
+    text the pool attaches to worker exceptions when available."""
+    text = "%s: %s" % (type(exc).__name__, exc)
+    cause = getattr(exc, "__cause__", None)
+    if cause is not None and type(cause).__name__ == "_RemoteTraceback":
+        text = "%s\n%s" % (text, cause)
+    return text
+
+
+def _touch(path):
+    try:
+        with open(path, "a"):
+            pass
+        os.utime(path, None)
+    except OSError:
+        pass
+
+
+class CellSupervisor:
+    """Runs independent tasks to completion under timeouts, retries,
+    pool rebuilds and quarantine.
+
+    The supervisor knows nothing about simulations; the engine supplies:
+
+    ``worker``
+        Picklable top-level function executed per task.
+    ``task_args(item, attempt)``
+        Positional argument tuple for one attempt (1-based) of ``item``.
+    ``item_key(item)`` / ``item_label(item)``
+        Stable string key (seeds the backoff jitter, lands in the
+        ledger) and human-readable label for events.
+    ``heartbeat_path(item)``
+        Heartbeat file for ``item``, or ``None`` to skip timeout
+        tracking for it.
+    ``validate(item, value)``
+        Raises :class:`CellResultError` on a bad payload; runs *before*
+        the value is accepted, so corrupt results never reach a cache.
+    ``on_result(item, value, running)``
+        Called once per completed item, in completion order.
+    ``emit(event, **fields)``
+        Progress event sink (``cell-start``, ``cell-retry``,
+        ``cell-timeout``, ``cell-quarantined``, ``pool-broken``,
+        ``pool-rebuilt``, ``sweep-degraded``).
+    ``ledger`` / ``ledger_info(item)``
+        Optional :class:`QuarantineLedger` plus static per-item fields
+        (cell key, checkpoint path) merged into each quarantine record.
+
+    After :meth:`run`: ``quarantined`` maps given-up items to their
+    ledger entries; ``attempts``, ``retries``, ``timeouts``,
+    ``pool_breaks`` and ``degraded`` describe the execution.
+    """
+
+    def __init__(self, worker, task_args, jobs, config, item_key=str,
+                 item_label=str, heartbeat_path=None, validate=None,
+                 on_result=None, emit=None, ledger=None, ledger_info=None):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.worker = worker
+        self.task_args = task_args
+        self.jobs = jobs
+        self.config = config
+        self.item_key = item_key
+        self.item_label = item_label
+        self.heartbeat_path = heartbeat_path
+        self.validate = validate
+        self.on_result = on_result
+        self.emit = emit
+        self.ledger = ledger
+        self.ledger_info = ledger_info
+        self.quarantined = {}
+        self.attempts = {}
+        self.failures = {}
+        self.retries = 0
+        self.timeouts = 0
+        self.pool_breaks = 0
+        self.degraded = False
+        self._pool = None
+        self._workers = jobs
+        self._breaks_in_a_row = 0
+        self._seq = 0
+
+    # -- small helpers ---------------------------------------------------
+
+    def _emit(self, event, **fields):
+        if self.emit is not None:
+            self.emit(event, **fields)
+
+    def _label(self, item):
+        return self.item_label(item)
+
+    def _delay_for(self, item):
+        return backoff_delay(
+            self.attempts[item], self.config.retry_base_delay,
+            self.config.retry_max_delay, self.config.seed,
+            self.item_key(item))
+
+    def _heartbeat_file(self, item):
+        if self.heartbeat_path is None:
+            return None
+        return self.heartbeat_path(item)
+
+    def _touch_heartbeat(self, item):
+        path = self._heartbeat_file(item)
+        if path is not None:
+            _touch(path)
+
+    def _heartbeat_age(self, item, now_wall):
+        path = self._heartbeat_file(item)
+        if path is None:
+            return 0.0
+        try:
+            return now_wall - os.stat(path).st_mtime
+        except OSError:
+            return 0.0  # no file yet: the submit-time touch races mkdir
+
+    # -- failure accounting ---------------------------------------------
+
+    def _record_failure(self, item, description, waiting):
+        """Charge one failed attempt; schedule a retry or quarantine."""
+        self.attempts[item] += 1
+        self.failures.setdefault(item, []).append(description)
+        if self.attempts[item] >= self.config.max_attempts:
+            self._quarantine(item)
+            return
+        delay = self._delay_for(item)
+        self.retries += 1
+        self._emit("cell-retry", cell=self._label(item),
+                   attempt=self.attempts[item] + 1,
+                   delay_s=round(delay, 3),
+                   error=description.splitlines()[0])
+        self._seq += 1
+        heapq.heappush(
+            waiting, (time.monotonic() + delay, self._seq, item))  # repro: allow-nondeterminism[ND101] (retry scheduling, not results)
+
+    def _quarantine(self, item):
+        failures = self.failures.get(item, [])
+        entry = {
+            "cell": self._label(item),
+            "attempts": self.attempts[item],
+            "failures": [line.splitlines()[0] for line in failures],
+            "last_error": failures[-1] if failures else "",
+            "quarantined_at": round(time.time(), 3),  # repro: allow-nondeterminism[ND101] (ledger timestamp, not results)
+        }
+        if self.ledger_info is not None:
+            entry.update(self.ledger_info(item))
+        if self.ledger is not None:
+            self.ledger.record(entry)
+        self.quarantined[item] = entry
+        self._emit("cell-quarantined", cell=self._label(item),
+                   attempts=self.attempts[item],
+                   error=entry["last_error"].splitlines()[0]
+                   if entry["last_error"] else "")
+
+    def _complete(self, item, value, results, running):
+        results[item] = value
+        self._breaks_in_a_row = 0
+        if self.on_result is not None:
+            self.on_result(item, value, running)
+
+    # -- pool lifecycle --------------------------------------------------
+
+    def _open_pool(self, remaining, rebuild):
+        workers = max(1, min(self.jobs, remaining))
+        try:
+            self._pool = ProcessPoolExecutor(max_workers=workers)
+        except Exception as exc:
+            self._enter_degraded("cannot %s process pool: %s"
+                                 % ("rebuild" if rebuild else "build", exc))
+            return
+        self._workers = workers
+        if rebuild:
+            self._emit("pool-rebuilt", workers=workers)
+
+    def _close_pool(self, kill):
+        pool = self._pool
+        self._pool = None
+        if pool is None:
+            return
+        if kill:
+            for proc in list(getattr(pool, "_processes", {}).values()):
+                try:
+                    proc.kill()
+                except Exception:
+                    pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
+    def _enter_degraded(self, reason):
+        if not self.config.degrade:
+            raise SweepAborted(
+                "%s; degrade-to-serial disabled (--no-degrade)" % reason)
+        self.degraded = True
+        self._emit("sweep-degraded", reason=reason)
+
+    # -- entry point -----------------------------------------------------
+
+    def run(self, items):
+        """Run every item; returns {item: value} for the completed ones
+        (quarantined items are absent — inspect ``quarantined``)."""
+        items = list(items)
+        results = {}
+        self.attempts = {item: 0 for item in items}
+        if not items:
+            return results
+        try:
+            if self.jobs == 1 or len(items) == 1:
+                self._run_serial(items, results)
+            else:
+                self._run_pool(items, results)
+        finally:
+            self._close_pool(kill=False)
+        return results
+
+    # -- serial (jobs=1 and the degrade path) ----------------------------
+
+    def _remaining(self, items, results):
+        return [item for item in items
+                if item not in results and item not in self.quarantined]
+
+    def _run_serial(self, items, results):
+        queue = deque(self._remaining(items, results))
+        waiting = []
+        while queue or waiting:
+            if not queue:
+                delay = waiting[0][0] - time.monotonic()  # repro: allow-nondeterminism[ND101] (retry scheduling, not results)
+                if delay > 0:
+                    time.sleep(delay)
+            now = time.monotonic()  # repro: allow-nondeterminism[ND101] (retry scheduling, not results)
+            while waiting and waiting[0][0] <= now:
+                queue.append(heapq.heappop(waiting)[2])
+            if not queue:
+                continue
+            item = queue.popleft()
+            attempt = self.attempts[item] + 1
+            self._emit("cell-start", cell=self._label(item), attempt=attempt,
+                       running=1)
+            try:
+                value = self.worker(*self.task_args(item, attempt))
+                if self.validate is not None:
+                    self.validate(item, value)
+            except (KeyboardInterrupt, SystemExit, CellBootstrapError):
+                raise
+            except Exception as exc:
+                self._record_failure(item, _describe_error(exc), waiting)
+                continue
+            self._complete(item, value, results, running=len(queue))
+
+    # -- pooled ----------------------------------------------------------
+
+    def _run_pool(self, items, results):
+        ready = deque(items)
+        waiting = []   # heap of (due, seq, item)
+        inflight = {}  # future -> item, insertion == submission order
+        while ready or waiting or inflight:
+            if self.degraded:
+                self._run_serial(items, results)
+                return
+            now = time.monotonic()  # repro: allow-nondeterminism[ND101] (retry scheduling, not results)
+            while waiting and waiting[0][0] <= now:
+                ready.append(heapq.heappop(waiting)[2])
+            if self._pool is None and (ready or inflight):
+                remaining = len(ready) + len(waiting) + len(inflight)
+                self._open_pool(remaining, rebuild=self.pool_breaks > 0)
+                if self.degraded:
+                    continue
+            self._launch(ready, inflight)
+            if not inflight:
+                if waiting:
+                    pause = min(self.config.poll_interval,
+                                max(0.0, waiting[0][0] - time.monotonic()))  # repro: allow-nondeterminism[ND101] (retry scheduling, not results)
+                    time.sleep(pause)
+                continue
+            done, __ = wait(list(inflight), timeout=self.config.poll_interval,
+                            return_when=FIRST_COMPLETED)
+            broken = self._collect(done, inflight, waiting, results)
+            if broken:
+                self._handle_pool_break(inflight, waiting)
+            elif self.config.cell_timeout is not None and inflight:
+                self._reap_hung_cells(inflight, ready, waiting)
+
+    def _launch(self, ready, inflight):
+        while ready and len(inflight) < self._workers and self._pool is not None:
+            item = ready.popleft()
+            attempt = self.attempts[item] + 1
+            self._touch_heartbeat(item)
+            try:
+                future = self._pool.submit(
+                    self.worker, *self.task_args(item, attempt))
+            except (BrokenExecutor, RuntimeError):
+                ready.appendleft(item)
+                self._close_pool(kill=False)
+                return
+            inflight[future] = item
+            self._emit("cell-start", cell=self._label(item), attempt=attempt,
+                       running=len(inflight))
+
+    def _collect(self, done, inflight, waiting, results):
+        """Process finished futures; returns True when the pool broke."""
+        broken = False
+        for future in done:
+            item = inflight.pop(future, None)
+            if item is None:
+                continue  # abandoned future from a killed pool generation
+            try:
+                value = future.result()
+                if self.validate is not None:
+                    self.validate(item, value)
+            except BrokenExecutor as exc:
+                # The executor cannot say which cell's worker died, so
+                # every in-flight cell is charged one attempt (see also
+                # _handle_pool_break for the ones wait() didn't return).
+                broken = True
+                self._record_failure(item, _describe_error(exc), waiting)
+            except (KeyboardInterrupt, SystemExit, CellBootstrapError):
+                raise
+            except Exception as exc:
+                self._record_failure(item, _describe_error(exc), waiting)
+            else:
+                self._complete(item, value, results, running=len(inflight))
+        return broken
+
+    def _handle_pool_break(self, inflight, waiting):
+        self.pool_breaks += 1
+        self._breaks_in_a_row += 1
+        for future, item in list(inflight.items()):
+            self._record_failure(
+                item, "BrokenProcessPool: a worker died while this cell "
+                "was in flight", waiting)
+        inflight.clear()
+        self._close_pool(kill=False)
+        self._emit("pool-broken", breaks=self.pool_breaks)
+        if self._breaks_in_a_row >= self.config.degrade_after_breaks:
+            self._enter_degraded(
+                "process pool collapsed %d times without completing a cell"
+                % self._breaks_in_a_row)
+
+    def _reap_hung_cells(self, inflight, ready, waiting):
+        now_wall = time.time()  # repro: allow-nondeterminism[ND101] (heartbeat staleness, not results)
+        stale = [item for item in inflight.values()
+                 if self._heartbeat_age(item, now_wall)
+                 > self.config.cell_timeout]
+        if not stale:
+            return
+        # A hung worker cannot be cancelled, only killed — which takes
+        # the whole pool generation with it.  Unlike an external break,
+        # guilt is attributable: only the stale cells are charged; the
+        # collateral in-flight cells requeue at the front uncharged.
+        self.timeouts += len(stale)
+        self._close_pool(kill=True)
+        stale_set = set(stale)
+        collateral = [item for item in inflight.values()
+                      if item not in stale_set]
+        inflight.clear()
+        for item in stale:
+            self._emit("cell-timeout", cell=self._label(item),
+                       attempt=self.attempts[item] + 1,
+                       timeout_s=self.config.cell_timeout)
+            self._record_failure(
+                item, "CellTimeout: heartbeat stale for more than %.1fs"
+                % self.config.cell_timeout, waiting)
+        ready.extendleft(reversed(collateral))
+
+
+__all__ = [
+    "CellBootstrapError",
+    "CellResultError",
+    "CellSupervisor",
+    "QuarantineLedger",
+    "Supervision",
+    "SupervisorError",
+    "SweepAborted",
+    "backoff_delay",
+    "deterministic_jitter",
+]

@@ -183,3 +183,93 @@ class TestCoreEnvValidation:
         main(["run", "--workload", "art-mcf", "--policy", "ICOUNT",
               "--scale", "smoke", "--epochs", "2"])
         assert "weighted IPC" in capsys.readouterr().out
+
+
+class TestSweepSupervisionCLI:
+    """The supervised-sweep flags and their failure modes."""
+
+    def test_cell_timeout_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--workloads", "art-mcf", "--scale", "smoke",
+                  "--cell-timeout", "0"])
+        assert excinfo.value.code == 2
+        assert "--cell-timeout" in capsys.readouterr().err
+
+    def test_max_attempts_must_be_at_least_one(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--workloads", "art-mcf", "--scale", "smoke",
+                  "--max-attempts", "0"])
+        assert excinfo.value.code == 2
+        assert "--max-attempts" in capsys.readouterr().err
+
+    def test_worker_bootstrap_failure_exits_2_with_one_line(self, capsys,
+                                                            tmp_path,
+                                                            monkeypatch):
+        from repro.experiments import parallel
+
+        def broken_factory(policy, scale):
+            raise ImportError("No module named 'repro.policies.fancy'")
+
+        monkeypatch.setattr(parallel, "policy_factory", broken_factory)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--workloads", "art-mcf", "--policies",
+                  "ICOUNT", "--scale", "smoke", "--jobs", "1", "--quiet",
+                  "--cache-dir", str(tmp_path / "cache")])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err.strip()
+        assert err.startswith("error:")
+        assert len(err.splitlines()) == 1
+        assert "cannot construct cell" in err
+
+    def test_quarantined_sweep_exits_1_with_partial_output(self, capsys,
+                                                           tmp_path,
+                                                           monkeypatch):
+        from repro.experiments import parallel
+        from repro.reliability.chaos import ChaosPlan, PoisonCell
+
+        import os as _os
+
+        real_init = parallel.SweepEngine.__init__
+
+        def poisoned_init(self, *args, **kwargs):
+            kwargs["fault_plan"] = ChaosPlan(
+                [PoisonCell(("art-mcf/ICOUNT/s0",))],
+                parent_pid=_os.getpid())
+            real_init(self, *args, **kwargs)
+
+        monkeypatch.setattr(parallel.SweepEngine, "__init__",
+                            poisoned_init)
+        out_path = tmp_path / "merged.json"
+        code = main(["sweep", "--workloads", "art-mcf", "--policies",
+                     "ICOUNT", "HILL", "--scale", "smoke", "--jobs", "1",
+                     "--quiet", "--max-attempts", "2",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--out", str(out_path)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "quarantined after repeated failures" in out
+        assert "art-mcf/ICOUNT/s0" in out
+
+        import json as _json
+
+        doc = _json.loads(out_path.read_text())
+        assert [rec["policy"] for rec in doc["cells"]] == ["HILL-WIPC"]
+        (dropped,) = doc["quarantined"]
+        assert dropped["policy"] == "ICOUNT"
+        assert dropped["attempts"] == 2
+
+
+class TestChaosCLI:
+    def test_validation_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["chaos", "--max-attempts", "0"])
+        assert excinfo.value.code == 2
+        assert "--max-attempts" in capsys.readouterr().err
+
+    def test_flaky_preset_smoke(self, capsys):
+        code = main(["chaos", "--preset", "flaky-cells", "--jobs", "2",
+                     "--epochs", "3", "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[chaos] OK" in out
+        assert "quarantined: 0 (expected 0)" in out

@@ -303,3 +303,59 @@ class TestFingerprint:
         assert len({icount, dcra, hill}) == 3
         assert code_fingerprint("HILL-IPC") == hill
         assert code_fingerprint("hill") == hill
+
+
+# -- supervision satellites -------------------------------------------------
+
+
+class TestCacheCorruptionHandling:
+    def test_corrupt_entry_is_moved_aside_with_a_warning(self, scale,
+                                                         tmp_path, capsys):
+        cell = small_grid()[0]
+        cache_dir = str(tmp_path / "cache")
+        SweepEngine(scale, cache_dir=cache_dir).run_cells([cell])
+
+        cache = ResultCache(cache_dir)
+        key = cache_key(cell, scale)
+        path = cache._path(key)
+        with open(path, "w") as handle:
+            handle.write('{"result": "not a dict"}')
+
+        assert cache.get(key) is None
+        err = capsys.readouterr().err
+        assert "corrupt cache entry" in err
+        assert "treated as a miss" in err
+        assert not os.path.exists(path)
+        assert os.path.exists(path[:-len(".json")] + ".corrupt")
+        # The moved-aside entry can never shadow the re-simulated result.
+        assert cache.get(key) is None
+
+
+class TestPureCacheMerge:
+    def test_empty_task_list_short_circuits(self):
+        assert pool_map(_square, [], jobs=4) == []
+
+    def test_fully_cached_sweep_never_builds_a_pool(self, scale, tmp_path,
+                                                    monkeypatch):
+        cells = small_grid()
+        cache_dir = str(tmp_path / "cache")
+        SweepEngine(scale, jobs=1, cache_dir=cache_dir).run_cells(cells)
+
+        def boom(*args, **kwargs):
+            raise AssertionError("a fully cached sweep built a pool")
+
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", boom)
+        warm = SweepEngine(scale, jobs=4, cache_dir=cache_dir)
+        results = warm.run_cells(cells)
+        assert warm.stats == {"hits": len(cells), "misses": 0,
+                              "resumed": 0}
+        assert all(result is not None for result in results)
+
+
+class TestMergedQuarantineSection:
+    def test_quarantined_key_is_always_present(self, scale, tmp_path):
+        cells = small_grid()[:1]
+        engine = SweepEngine(scale, cache_dir=str(tmp_path / "c"))
+        results = engine.run_cells(cells)
+        doc = json.loads(merged_json(cells, results, scale))
+        assert doc["quarantined"] == []
