@@ -32,10 +32,29 @@ Commands
     cells were quarantined (partial results), 2 on a worker bootstrap
     failure.
 ``chaos``
-    Fault-injection harness for the sweep supervisor: run a tiny grid
-    while SIGKILLing/hanging/corrupting workers per ``--preset`` and
-    verify the merged results converge to a fault-free serial
-    reference.  Exits non-zero when they do not.
+    Fault-injection harness: run a tiny grid while injecting faults per
+    ``--preset`` and verify the merged results converge to a fault-free
+    serial reference.  Pool presets (kill-one-worker, kill-storm, ...)
+    abuse the sweep supervisor; service presets (kill-worker,
+    worker-storm, slow-client, queue-flood, split-result) abuse a live
+    ``repro serve`` daemon and its worker fleet (docs/SERVICE.md).
+    Exits non-zero when results diverge.
+``serve``
+    The sweep service daemon: accept sweep jobs over HTTP/JSON, shard
+    cells across pull-based ``repro worker`` processes under leases
+    with heartbeat renewal, apply backpressure (429 + Retry-After) and
+    per-client quotas, stream live JSONL events, and drain gracefully
+    on SIGTERM — the queue persists and resumes on restart.
+``worker``
+    One pull-based sweep worker: lease cells from a ``repro serve``
+    daemon, simulate them, heartbeat, upload results.
+``submit``
+    Submit a sweep grid to a daemon, stream its progress events, and
+    fetch the merged JSON (byte-identical to a local serial sweep).
+    Exits 1 when cells were quarantined.
+``loadtest``
+    Hammer a daemon with many concurrent clients on a warm cache and
+    report latency percentiles, throughput and throttle counts.
 ``profile``
     Simulator throughput: run one workload/policy under the fast
     and/or reference core and report wall time, KIPS, skip ratio and
@@ -348,38 +367,74 @@ def cmd_surface(args):
     print("peak %.3f at %s" % (surface.peak_ipc, surface.peak_shares))
 
 
+#: One renderer per canonical sweep event (``SWEEP_EVENTS`` in
+#: repro.reliability.supervisor) — ``None`` marks events that are
+#: intentionally silent on the progress line.  A drift test pins this
+#: table's keys to exactly the event-name table, so adding an event
+#: without deciding how (or whether) to render it fails the suite.
+_EVENT_RENDERERS = {
+    "sweep-start": lambda r: (
+        "[sweep] %d cells: %d cached, %d to simulate (%d workers)"
+        % (r["total"], r["cached"], r["pending"], r["jobs"])),
+    "cell-cached": None,
+    "cell-start": None,
+    "cell-done": lambda r: (
+        "[sweep] %d/%d done (%d cached, %d running%s) — %s"
+        % (r["done"], r["total"], r["cached"], r["running"],
+           (", eta %ds" % r["eta_s"]) if "eta_s" in r else "", r["cell"])),
+    "sweep-done": lambda r: (
+        "[sweep] finished: %d cells (%d cached, %d simulated) in %.1fs"
+        % (r["total"], r["cached"], r["simulated"], r["wall_s"])),
+    "cell-retry": lambda r: (
+        "[sweep] retrying %s (attempt %d in %.1fs): %s"
+        % (r["cell"], r["attempt"], r["delay_s"], r["error"])),
+    "cell-timeout": lambda r: (
+        "[sweep] %s heartbeat stale for %.0fs — killing its worker"
+        % (r["cell"], r["timeout_s"])),
+    "cell-quarantined": lambda r: (
+        "[sweep] quarantined %s after %d attempts: %s"
+        % (r["cell"], r["attempts"], r["error"])),
+    "pool-broken": lambda r: (
+        "[sweep] worker pool broke (%d so far); rebuilding"
+        % r["breaks"]),
+    "pool-rebuilt": None,
+    "sweep-degraded": lambda r: (
+        "[sweep] degrading to in-process serial execution: %s"
+        % r["reason"]),
+}
+
+#: Renderers for the service-tier events (``SERVICE_EVENTS`` in
+#: repro.service.protocol), pinned by the same drift test.
+_SERVICE_EVENT_RENDERERS = {
+    "job-accepted": lambda r: (
+        "[sweep] job %s accepted: %d cells (%d cached, %d to run)"
+        % (r["job"], r["total"], r["cached"], r["pending"])),
+    "job-done": None,
+    "cell-leased": lambda r: (
+        "[sweep] %s leased to %s (attempt %d)"
+        % (r["cell"], r["worker"], r["attempt"])),
+    "lease-expired": lambda r: (
+        "[sweep] lease on %s expired (worker %s presumed dead)"
+        % (r["cell"], r["worker"])),
+    "cell-requeued": None,
+    "worker-registered": lambda r: (
+        "[sweep] worker %s joined" % r["worker"]),
+    "worker-lost": lambda r: (
+        "[sweep] worker %s lost" % r["worker"]),
+    "service-draining": lambda r: (
+        "[sweep] daemon draining; job will resume after restart"),
+    "service-resumed": lambda r: (
+        "[sweep] daemon resumed this job from its persisted queue "
+        "(%d cells still pending)" % r["pending"]),
+}
+
+
 def _print_sweep_event(record):
-    """One-line live progress for ``repro sweep``."""
-    event = record["event"]
-    if event == "sweep-start":
-        print("[sweep] %d cells: %d cached, %d to simulate (%d workers)"
-              % (record["total"], record["cached"], record["pending"],
-                 record["jobs"]))
-    elif event == "cell-done":
-        eta = (", eta %ds" % record["eta_s"]) if "eta_s" in record else ""
-        print("[sweep] %d/%d done (%d cached, %d running%s) — %s"
-              % (record["done"], record["total"], record["cached"],
-                 record["running"], eta, record["cell"]))
-    elif event == "sweep-done":
-        print("[sweep] finished: %d cells (%d cached, %d simulated) "
-              "in %.1fs" % (record["total"], record["cached"],
-                            record["simulated"], record["wall_s"]))
-    elif event == "cell-retry":
-        print("[sweep] retrying %s (attempt %d in %.1fs): %s"
-              % (record["cell"], record["attempt"], record["delay_s"],
-                 record["error"]))
-    elif event == "cell-timeout":
-        print("[sweep] %s heartbeat stale for %.0fs — killing its worker"
-              % (record["cell"], record["timeout_s"]))
-    elif event == "cell-quarantined":
-        print("[sweep] quarantined %s after %d attempts: %s"
-              % (record["cell"], record["attempts"], record["error"]))
-    elif event == "pool-broken":
-        print("[sweep] worker pool broke (%d so far); rebuilding"
-              % record["breaks"])
-    elif event == "sweep-degraded":
-        print("[sweep] degrading to in-process serial execution: %s"
-              % record["reason"])
+    """One-line live progress for ``repro sweep`` / ``repro submit``."""
+    renderer = _EVENT_RENDERERS.get(
+        record["event"], _SERVICE_EVENT_RENDERERS.get(record["event"]))
+    if renderer is not None:
+        print(renderer(record))
 
 
 def cmd_sweep(args):
@@ -466,10 +521,36 @@ def cmd_sweep(args):
     return 1 if engine.quarantined else 0
 
 
+def _cmd_chaos_service(args):
+    """Service-tier chaos presets: a live daemon + worker subprocesses."""
+    from repro.service.chaos import run_service_chaos
+
+    report = run_service_chaos(
+        args.preset, scale_name=args.scale, keep=args.keep,
+        work_dir=args.work_dir, epochs=args.epochs,
+        log=None if args.quiet else (lambda msg: print("[chaos] %s" % msg)))
+    print("[chaos] preset=%s cells=%d jobs=%d retries=%d "
+          "lease_expiries=%d invalid_results=%d throttled=%d"
+          % (report["preset"], len(report["cells"]), report["jobs"],
+             report["retries"], report["lease_expiries"],
+             report["invalid_results"], report["throttled"]))
+    print("[chaos] quarantined: %d (expected %d)"
+          % (report["quarantined"], report["expected_quarantined"]))
+    print("[chaos] merged results %s the fault-free serial reference"
+          % ("match" if report["identical"] else "DIVERGE from"))
+    if report["work_dir"] is not None:
+        print("[chaos] work dir kept at %s" % report["work_dir"])
+    print("[chaos] %s" % ("OK" if report["ok"] else "FAILED"))
+    return 0 if report["ok"] else 1
+
+
 def cmd_chaos(args):
     from repro.reliability.chaos import CHAOS_PRESETS, run_chaos
+    from repro.service.chaos import SERVICE_CHAOS_PRESETS
 
     scale = _scale_from(args)
+    if args.preset in SERVICE_CHAOS_PRESETS:
+        return _cmd_chaos_service(args)
     if args.cell_timeout is not None and args.cell_timeout <= 0:
         _fail("--cell-timeout must be a positive number of seconds")
     if args.max_attempts < 1:
@@ -552,11 +633,179 @@ def cmd_cache(args):
             ["field", "value"],
             [["directory", stats.directory],
              ["entries", stats.entries],
-             ["size", "%.1f KiB" % (stats.bytes / 1024.0)]]))
+             ["size", "%.1f KiB" % (stats.bytes / 1024.0)],
+             ["corrupt entries", stats.corrupt],
+             ["corrupt size", "%.1f KiB" % (stats.corrupt_bytes / 1024.0)]]))
     else:  # clear
-        removed = cache.clear()
-        print("removed %d cached result(s) from %s"
-              % (removed, cache.directory))
+        removed = cache.clear(corrupt_only=args.corrupt_only)
+        what = "corrupt sidelined" if args.corrupt_only else "cached"
+        print("removed %d %s result(s) from %s"
+              % (removed, what, cache.directory))
+
+
+def cmd_serve(args):
+    import asyncio
+    import os
+    import signal
+
+    from repro.service.server import ServiceConfig, SweepService
+
+    try:
+        config = ServiceConfig(
+            host=args.host, port=args.port, cache_dir=args.cache_dir,
+            state_dir=args.state_dir, queue_limit=args.queue_limit,
+            client_quota=args.client_quota,
+            lease_timeout=args.lease_timeout,
+            max_attempts=args.max_attempts)
+    except ValueError as exc:
+        _fail(str(exc))
+    service = SweepService(config)
+    say = (lambda message: None) if args.quiet else (
+        lambda message: print("[serve] %s" % message, file=sys.stderr))
+
+    async def _amain():
+        await service.start()
+        if args.port_file is not None:
+            port_dir = os.path.dirname(args.port_file)
+            if port_dir:
+                os.makedirs(port_dir, exist_ok=True)
+            tmp = args.port_file + ".tmp"
+            with open(tmp, "w") as handle:
+                handle.write("%d\n" % service.port)
+            os.replace(tmp, args.port_file)
+        say("listening on http://%s:%d (state: %s)"
+            % (config.host, service.port, config.state_dir))
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        await stop.wait()
+        say("draining: waiting for in-flight leases, persisting queue")
+        await service.shutdown(drain=True)
+        say("drained; queue persisted to %s" % config.state_dir)
+
+    asyncio.run(_amain())
+    return 0
+
+
+def cmd_worker(args):
+    from repro.service.worker import run_worker
+
+    if args.poll_interval <= 0:
+        _fail("--poll-interval must be a positive number of seconds")
+    try:
+        summary = run_worker(
+            args.server, poll_interval=args.poll_interval,
+            max_cells=args.max_cells, idle_exit=args.idle_exit,
+            fault=args.fault, name=args.name,
+            log=None if args.quiet else (
+                lambda message: print("[worker] %s" % message,
+                                      file=sys.stderr)))
+    except (ValueError, RuntimeError) as exc:
+        _fail(str(exc))
+    if not args.quiet:
+        print("[worker] served %d cell(s), %d failed attempt(s), "
+              "%d lease(s) lost" % (summary["completed"],
+                                    summary["failed"],
+                                    summary["lease_lost"]),
+              file=sys.stderr)
+    return 0
+
+
+def cmd_submit(args):
+    import urllib.error
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    if not args.workloads and not args.groups:
+        _fail("submit needs --workloads or --groups")
+    grid = {"seeds": args.seeds}
+    if args.workloads:
+        grid["workloads"] = args.workloads
+    if args.groups:
+        grid["groups"] = args.groups
+    if args.policies:
+        grid["policies"] = args.policies
+    if args.workloads_per_group is not None:
+        grid["workloads_per_group"] = args.workloads_per_group
+    scale_spec = {"scale": args.scale}
+    for field, value in (("epochs", args.epochs),
+                         ("epoch_size", args.epoch_size),
+                         ("seed", args.seed)):
+        if value is not None:
+            scale_spec[field] = value
+    client = ServiceClient(args.server, client=args.client,
+                           timeout=args.timeout)
+    try:
+        record = client.submit(grid=grid, scale=scale_spec,
+                               deadline=args.timeout)
+    except ServiceError as exc:
+        _fail("submit to %s failed — %s" % (args.server, exc))
+    except (urllib.error.URLError, OSError) as exc:
+        _fail("cannot reach %s: %s" % (args.server, exc))
+    job_id = record["job"]
+    if args.no_wait:
+        print(job_id)
+        return 0
+    try:
+        for event in client.events(job_id):
+            if not args.quiet:
+                _print_sweep_event(event)
+    except (urllib.error.URLError, OSError, ValueError):
+        pass  # stream dropped (daemon draining); wait() takes over
+    status = client.wait(job_id, deadline=args.timeout)
+    text = client.result(job_id)
+    if args.out is not None:
+        import os
+
+        out_dir = os.path.dirname(args.out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print("merged results written to %s" % args.out)
+    else:
+        print(text, end="")
+    if status["quarantined"]:
+        print("%d cell(s) quarantined on the service side"
+              % status["quarantined"], file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_loadtest(args):
+    from repro.service.loadtest import run_loadtest
+
+    if args.clients < 1 or args.requests < 1:
+        _fail("--clients and --requests must be >= 1")
+    report = run_loadtest(
+        clients=args.clients, requests=args.requests,
+        workers=args.workers, server_url=args.server,
+        scale_name=args.scale, epochs=args.epochs,
+        log=None if args.quiet else (
+            lambda message: print("[loadtest] %s" % message)))
+    print(format_table(
+        ["field", "value"],
+        [["clients x requests", "%d x %d" % (report["clients"],
+                                             report["requests_per_client"])],
+         ["ok / errors / mismatched", "%d / %d / %d"
+          % (report["ok"], report["errors"], report["mismatched"])],
+         ["throttled (429)", report["throttled"]],
+         ["warm sweep", "%.1fs" % report["warm_s"]],
+         ["wall", "%.1fs" % report["wall_s"]],
+         ["throughput", "%.1f jobs/s" % report["rps"]],
+         ["latency p50/p95/max",
+          "%.0f / %.0f / %.0f ms" % (report["latency_ms"]["p50"],
+                                     report["latency_ms"]["p95"],
+                                     report["latency_ms"]["max"])]]))
+    if args.out is not None:
+        import json
+
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("loadtest report written to %s" % args.out)
+    return 0 if report["identical"] and report["errors"] == 0 else 1
 
 
 def cmd_lint(args):
@@ -695,9 +944,13 @@ def build_parser():
     sub.add_argument("--preset", default="kill-one-worker",
                      choices=("corrupt-result", "flaky-cells",
                               "hang-one-cell", "kill-one-worker",
-                              "kill-storm", "poison-cell"),
-                     help="fault scenario (see repro.reliability.chaos."
-                          "CHAOS_PRESETS)")
+                              "kill-storm", "kill-worker", "poison-cell",
+                              "queue-flood", "slow-client",
+                              "split-result", "worker-storm"),
+                     help="fault scenario: pool presets (see repro."
+                          "reliability.chaos.CHAOS_PRESETS) or service "
+                          "presets (repro.service.chaos."
+                          "SERVICE_CHAOS_PRESETS)")
     sub.add_argument("--jobs", type=int, default=2, metavar="N",
                      help="worker processes for the chaos sweep")
     sub.add_argument("--cell-timeout", type=float, default=None,
@@ -750,11 +1003,121 @@ def build_parser():
     sub = commands.add_parser(
         "cache", help="inspect or empty the sweep result cache")
     cache_commands = sub.add_subparsers(dest="cache_command", required=True)
-    for name, help_text in (("info", "entry count, size, directory"),
-                            ("clear", "delete every cached result")):
-        cache_sub = cache_commands.add_parser(name, help=help_text)
-        cache_sub.add_argument("--cache-dir", default=None, metavar="DIR")
-        cache_sub.set_defaults(func=cmd_cache)
+    cache_sub = cache_commands.add_parser(
+        "info", help="entry count, size, corrupt entries, directory")
+    cache_sub.add_argument("--cache-dir", default=None, metavar="DIR")
+    cache_sub.set_defaults(func=cmd_cache, corrupt_only=False)
+    cache_sub = cache_commands.add_parser(
+        "clear", help="delete every cached result")
+    cache_sub.add_argument("--cache-dir", default=None, metavar="DIR")
+    cache_sub.add_argument("--corrupt-only", action="store_true",
+                           help="remove only sidelined .corrupt entries, "
+                                "keep every valid result")
+    cache_sub.set_defaults(func=cmd_cache)
+
+    sub = commands.add_parser(
+        "serve",
+        help="sweep service daemon: HTTP job queue with leases, quotas "
+             "and graceful drain (docs/SERVICE.md)")
+    sub.add_argument("--host", default="127.0.0.1")
+    sub.add_argument("--port", type=int, default=0,
+                     help="TCP port (0 = ephemeral; see --port-file)")
+    sub.add_argument("--port-file", default=None, metavar="FILE",
+                     help="write the bound port here once listening "
+                          "(race-free startup with --port 0)")
+    sub.add_argument("--cache-dir", default=None, metavar="DIR",
+                     help="result cache served to clients (default: "
+                          "$REPRO_CACHE_DIR or ~/.cache/repro-sweeps)")
+    sub.add_argument("--state-dir", default=None, metavar="DIR",
+                     help="job journal, queue snapshot, quarantine "
+                          "ledger and shared resume checkpoints")
+    sub.add_argument("--queue-limit", type=int, default=1024, metavar="N",
+                     help="max backlog cells before submits get 429")
+    sub.add_argument("--client-quota", type=int, default=256, metavar="N",
+                     help="max pending cells per client id")
+    sub.add_argument("--lease-timeout", type=float, default=30.0,
+                     metavar="SECONDS",
+                     help="heartbeat staleness after which a worker's "
+                          "cell is reclaimed and requeued")
+    sub.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                     help="attempts per cell before quarantine")
+    sub.add_argument("--quiet", action="store_true",
+                     help="suppress daemon log lines")
+    sub.set_defaults(func=cmd_serve)
+
+    sub = commands.add_parser(
+        "worker",
+        help="pull-based sweep worker: lease cells from a daemon, "
+             "simulate, heartbeat, upload")
+    sub.add_argument("--server", required=True, metavar="URL",
+                     help="daemon base URL, e.g. http://127.0.0.1:8732")
+    sub.add_argument("--name", default=None,
+                     help="worker display name in daemon events")
+    sub.add_argument("--poll-interval", type=float, default=0.25,
+                     metavar="SECONDS",
+                     help="idle sleep between lease attempts")
+    sub.add_argument("--max-cells", type=int, default=None, metavar="N",
+                     help="exit after resolving N cells")
+    sub.add_argument("--idle-exit", type=float, default=None,
+                     metavar="SECONDS",
+                     help="exit after this long without work (or with "
+                          "the daemon unreachable)")
+    sub.add_argument("--fault", default=None, metavar="SPEC",
+                     help="chaos hook, e.g. split-result:2 (corrupt the "
+                          "first 2 result uploads)")
+    sub.add_argument("--quiet", action="store_true",
+                     help="suppress worker log lines")
+    sub.set_defaults(func=cmd_worker)
+
+    sub = commands.add_parser(
+        "submit",
+        help="submit a sweep grid to a daemon, stream progress, fetch "
+             "the merged JSON")
+    sub.add_argument("--server", required=True, metavar="URL")
+    sub.add_argument("--client", default="cli",
+                     help="client id for the daemon's per-client quota")
+    sub.add_argument("--workloads", nargs="+", default=None,
+                     help="explicit workload names")
+    sub.add_argument("--groups", nargs="+", choices=GROUPS, default=None,
+                     help="Table 3 groups to sweep")
+    sub.add_argument("--policies", nargs="+", default=None,
+                     help="policies per workload (default: ICOUNT FLUSH "
+                          "DCRA HILL)")
+    sub.add_argument("--seeds", nargs="+", type=int, default=[0])
+    sub.add_argument("--workloads-per-group", type=int, default=None,
+                     metavar="N", help="first N workloads of each group")
+    sub.add_argument("--out", default=None, metavar="FILE",
+                     help="write merged results JSON here (default: "
+                          "stdout)")
+    sub.add_argument("--no-wait", action="store_true",
+                     help="print the job id and exit without waiting")
+    sub.add_argument("--timeout", type=float, default=600.0,
+                     metavar="SECONDS",
+                     help="overall submit-and-wait deadline")
+    sub.add_argument("--quiet", action="store_true",
+                     help="suppress live progress lines")
+    _add_scale_args(sub)
+    sub.set_defaults(func=cmd_submit, scale="smoke")
+
+    sub = commands.add_parser(
+        "loadtest",
+        help="many concurrent clients against a warm cache: latency "
+             "percentiles, throughput, throttle counts")
+    sub.add_argument("--server", default=None, metavar="URL",
+                     help="target daemon (default: self-host a daemon "
+                          "plus --workers worker processes)")
+    sub.add_argument("--clients", type=int, default=20, metavar="N",
+                     help="concurrent client threads")
+    sub.add_argument("--requests", type=int, default=5, metavar="N",
+                     help="submits per client")
+    sub.add_argument("--workers", type=int, default=1, metavar="N",
+                     help="worker processes when self-hosting")
+    sub.add_argument("--out", default=None, metavar="FILE",
+                     help="write the report JSON here")
+    sub.add_argument("--quiet", action="store_true",
+                     help="suppress progress lines")
+    _add_scale_args(sub)
+    sub.set_defaults(func=cmd_loadtest, scale="smoke")
 
     return parser
 

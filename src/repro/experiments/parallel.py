@@ -54,6 +54,7 @@ from repro.experiments.export import _jsonable
 from repro.experiments.runner import RunResult, run_policy
 from repro.policies import BASELINE_POLICIES  # repro: allow-reexport[FP005] (registry lookup; per-family sources hash the defining modules)
 from repro.reliability.supervisor import (
+    SWEEP_EVENTS,
     CellBootstrapError,
     CellResultError,
     CellSupervisor,
@@ -360,7 +361,11 @@ def cache_key(cell, scale):
 # On-disk result cache
 # ----------------------------------------------------------------------
 
-CacheStats = namedtuple("CacheStats", "entries bytes directory")
+#: ``corrupt``/``corrupt_bytes`` count the ``<key>.corrupt`` entries that
+#: :meth:`ResultCache.get` sidelined (they are misses, not results, but
+#: they occupy disk until ``repro cache clear --corrupt-only``).
+CacheStats = namedtuple("CacheStats",
+                        "entries bytes corrupt corrupt_bytes directory")
 
 
 def default_cache_dir():
@@ -409,46 +414,77 @@ class ResultCache:
             return None
 
     def put(self, key, cell, result):
+        """Atomically store one result; safe under concurrent engines.
+
+        Two writers racing on the same key both succeed: the keys are
+        content addresses, so the duplicate ``os.replace`` onto the same
+        path is a silent no-op by construction.  A racing
+        :meth:`clear`/``rmtree`` that removes the bucket directory
+        between the ``makedirs`` and the write is absorbed by recreating
+        the directory and retrying once — ``put`` never raises
+        ``FileNotFoundError`` at a victim of someone else's cleanup.
+        """
         path = self._path(key)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
         payload = json.dumps(
             {"cell": _jsonable(cell), "result": result.to_dict()},
             sort_keys=True)
         tmp = path + ".tmp.%d" % os.getpid()
-        with open(tmp, "w") as handle:
-            handle.write(payload)
-        os.replace(tmp, path)
+        for retry in (False, True):
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            try:
+                with open(tmp, "w") as handle:
+                    handle.write(payload)
+                os.replace(tmp, path)
+                return
+            except FileNotFoundError:
+                if retry:
+                    raise
 
-    def _entries(self):
+    def _entries(self, suffix=".json"):
         if not os.path.isdir(self.objects_dir):
             return
         for dirpath, dirnames, filenames in os.walk(self.objects_dir):
             dirnames.sort()
             for name in sorted(filenames):
-                if name.endswith(".json"):
+                if name.endswith(suffix):
                     yield os.path.join(dirpath, name)
 
-    def info(self):
-        entries = 0
+    @staticmethod
+    def _measure(paths):
+        count = 0
         total = 0
-        for path in self._entries():
-            entries += 1
+        for path in paths:
+            count += 1
             try:
                 total += os.path.getsize(path)
             except OSError:
                 pass
-        return CacheStats(entries=entries, bytes=total,
+        return count, total
+
+    def info(self):
+        entries, total = self._measure(self._entries())
+        corrupt, corrupt_total = self._measure(self._entries(".corrupt"))
+        return CacheStats(entries=entries, bytes=total, corrupt=corrupt,
+                          corrupt_bytes=corrupt_total,
                           directory=self.directory)
 
-    def clear(self):
-        """Delete every cached result; returns the number removed."""
+    def clear(self, corrupt_only=False):
+        """Delete cached results; returns the number of files removed.
+
+        ``corrupt_only=True`` removes only the sidelined ``.corrupt``
+        entries and leaves every valid result in place; the default
+        empties the cache, sidelined entries included.  Already-removed
+        files (a concurrent ``clear``) are skipped, not errors.
+        """
+        suffixes = (".corrupt",) if corrupt_only else (".json", ".corrupt")
         removed = 0
-        for path in list(self._entries()):
-            try:
-                os.remove(path)
-                removed += 1
-            except OSError:
-                pass
+        for suffix in suffixes:
+            for path in list(self._entries(suffix)):
+                try:
+                    os.remove(path)
+                    removed += 1
+                except OSError:
+                    pass
         return removed
 
 
@@ -656,6 +692,9 @@ class SweepEngine:
     # -- events ----------------------------------------------------------
 
     def _emit(self, event, **fields):
+        if event not in SWEEP_EVENTS:
+            raise ValueError("unknown sweep event %r (valid: %s)"
+                             % (event, ", ".join(SWEEP_EVENTS)))
         record = {"ts": round(time.time(), 3), "event": event}  # repro: allow-nondeterminism[ND101] (progress log timestamps, not results)
         record.update(fields)
         if self.events_path is not None:
@@ -954,6 +993,7 @@ __all__ = [
     "CellResultError",
     "DEFAULT_POLICIES",
     "ResultCache",
+    "SWEEP_EVENTS",
     "Supervision",
     "SWEEP_PRESETS",
     "SweepCell",

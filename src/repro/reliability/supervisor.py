@@ -41,6 +41,7 @@ import hashlib
 import heapq
 import json
 import os
+import sys
 import time
 from collections import deque
 from concurrent.futures import (
@@ -48,6 +49,34 @@ from concurrent.futures import (
     BrokenExecutor,
     ProcessPoolExecutor,
     wait,
+)
+
+#: The complete sweep event-name schema.  Every JSONL progress event a
+#: sweep can emit — from :class:`~repro.experiments.parallel.SweepEngine`
+#: (lifecycle), from :class:`CellSupervisor` (containment), or replayed
+#: per job by the service tier's streamer — carries one of these names.
+#: The table lives here, at the bottom of the import graph, because the
+#: engine imports the supervisor and the service tier imports both; all
+#: three emit paths validate against it, the CLI progress renderer keys
+#: its dispatch table on it, and a drift test pins docs/PARALLEL.md to
+#: exactly this set.  Service-*specific* events (job/worker lifecycle)
+#: live in :data:`repro.service.protocol.SERVICE_EVENTS` — this module
+#: must stay inside ``_CORE_SOURCES`` without dragging the service tier
+#: into every cell's code fingerprint.
+SWEEP_EVENTS = (
+    # SweepEngine lifecycle
+    "sweep-start",
+    "cell-cached",
+    "cell-start",
+    "cell-done",
+    "sweep-done",
+    # CellSupervisor containment
+    "cell-retry",
+    "cell-timeout",
+    "cell-quarantined",
+    "pool-broken",
+    "pool-rebuilt",
+    "sweep-degraded",
 )
 
 
@@ -107,8 +136,12 @@ def backoff_delay(attempt, base, cap, seed, key):
 class QuarantineLedger:
     """Append-only JSONL ledger of cells given up on.
 
-    One object per line; tolerant of a torn final line (a kill mid-append
-    loses at most that record).  The sweep engine records the cell key,
+    One object per line; tolerant of a torn or corrupt line (a kill
+    mid-append loses at most that record): bad lines are skipped with a
+    one-line stderr warning instead of raising, so a crashed sweep's
+    ledger still reads back everywhere it is consumed — the supervisor's
+    retry accounting, the merged JSON "quarantined" section, and the
+    service tier's restart path.  The sweep engine records the cell key,
     attempt count, last traceback and partial-checkpoint path, so a
     quarantined cell can be diagnosed and re-run by hand.
     """
@@ -128,14 +161,17 @@ class QuarantineLedger:
             return []
         records = []
         with open(self.path) as handle:
-            for line in handle:
+            for lineno, line in enumerate(handle, 1):
                 line = line.strip()
                 if not line:
                     continue
                 try:
                     records.append(json.loads(line))
                 except ValueError:
-                    continue  # torn final line
+                    print("warning: skipping corrupt quarantine-ledger "
+                          "line %d in %s (torn write from a crash "
+                          "mid-append?)" % (lineno, self.path),
+                          file=sys.stderr)
         return records
 
 
@@ -283,6 +319,9 @@ class CellSupervisor:
     # -- small helpers ---------------------------------------------------
 
     def _emit(self, event, **fields):
+        if event not in SWEEP_EVENTS:
+            raise ValueError("unknown sweep event %r (valid: %s)"
+                             % (event, ", ".join(SWEEP_EVENTS)))
         if self.emit is not None:
             self.emit(event, **fields)
 
@@ -569,6 +608,7 @@ __all__ = [
     "CellResultError",
     "CellSupervisor",
     "QuarantineLedger",
+    "SWEEP_EVENTS",
     "Supervision",
     "SupervisorError",
     "SweepAborted",

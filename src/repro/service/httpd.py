@@ -1,0 +1,165 @@
+"""Minimal asyncio HTTP/1.1 plumbing for the sweep service daemon.
+
+Just enough of the protocol for a JSON API between cooperating
+processes: one request per connection (``Connection: close``), JSON
+request/response bodies, and newline-delimited JSON streaming for the
+live event feed.  Deliberately stdlib-only and deliberately tiny — the
+service needs leases and backpressure, not a web framework.  Malformed
+requests get a 400 and the connection is dropped; oversized headers or
+bodies get a 413.
+"""
+
+import asyncio
+import json
+
+#: Upper bounds keeping one bad client from exhausting daemon memory.
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+REASONS = {
+    200: "OK",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    410: "Gone",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class BadRequest(Exception):
+    """The peer sent bytes this server cannot parse as HTTP/JSON."""
+
+
+class Request:
+    """One parsed HTTP request: method, path segments, query, body."""
+
+    def __init__(self, method, path, query, headers, body):
+        self.method = method
+        self.path = path
+        self.query = query
+        self.headers = headers
+        self.body = body
+
+    @property
+    def parts(self):
+        return tuple(part for part in self.path.split("/") if part)
+
+    def json(self):
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise BadRequest("request body is not valid JSON: %s" % exc)
+        if not isinstance(payload, dict):
+            raise BadRequest("request body must be a JSON object")
+        return payload
+
+
+def _parse_query(raw):
+    query = {}
+    for pair in raw.split("&"):
+        if not pair:
+            continue
+        key, sep, value = pair.partition("=")
+        query[key] = value
+    return query
+
+
+async def read_request(reader):
+    """Parse one request off the wire; ``None`` on a clean EOF.
+
+    Raises :class:`BadRequest` on malformed framing and
+    :class:`asyncio.LimitOverrunError`/``IncompleteReadError`` surface
+    as ``BadRequest`` too — callers answer 400 and close.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise BadRequest("truncated request head")
+    except asyncio.LimitOverrunError:
+        raise BadRequest("request head exceeds %d bytes" % MAX_HEADER_BYTES)
+    if len(head) > MAX_HEADER_BYTES:
+        raise BadRequest("request head exceeds %d bytes" % MAX_HEADER_BYTES)
+    try:
+        lines = head.decode("latin-1").split("\r\n")
+        method, target, _version = lines[0].split(" ", 2)
+    except ValueError:
+        raise BadRequest("malformed request line")
+    headers = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise BadRequest("malformed header line")
+        headers[name.strip().lower()] = value.strip()
+    path, _sep, raw_query = target.partition("?")
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise BadRequest("malformed Content-Length")
+    if length > MAX_BODY_BYTES:
+        raise BadRequest("request body exceeds %d bytes" % MAX_BODY_BYTES)
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise BadRequest("truncated request body")
+    return Request(method.upper(), path, _parse_query(raw_query), headers,
+                   body)
+
+
+def response_bytes(status, payload=None, headers=None, body=None,
+                   content_type="application/json"):
+    """Serialize one complete response (JSON payload or raw body)."""
+    if body is None:
+        body = b"" if payload is None else (
+            json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    elif isinstance(body, str):
+        body = body.encode("utf-8")
+    lines = ["HTTP/1.1 %d %s" % (status, REASONS.get(status, "Unknown")),
+             "Content-Type: %s" % content_type,
+             "Content-Length: %d" % len(body),
+             "Connection: close"]
+    for name, value in (headers or {}).items():
+        lines.append("%s: %s" % (name, value))
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+async def send_response(writer, status, payload=None, headers=None,
+                        body=None, content_type="application/json"):
+    writer.write(response_bytes(status, payload=payload, headers=headers,
+                                body=body, content_type=content_type))
+    await writer.drain()
+
+
+async def start_ndjson_stream(writer):
+    """Write the response head of an unbounded newline-delimited JSON
+    stream; the caller then writes one JSON line per event and closes
+    the connection to end the stream."""
+    head = ("HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Connection: close\r\n\r\n")
+    writer.write(head.encode("latin-1"))
+    await writer.drain()
+
+
+__all__ = [
+    "BadRequest",
+    "MAX_BODY_BYTES",
+    "MAX_HEADER_BYTES",
+    "Request",
+    "read_request",
+    "response_bytes",
+    "send_response",
+    "start_ndjson_stream",
+]

@@ -1,0 +1,148 @@
+"""``repro loadtest``: many concurrent clients against a warm cache.
+
+The serving story the paper's sweep tier needs is read-heavy: once the
+grid is simulated, hundreds of analysis clients should be able to pull
+merged results concurrently without touching a simulator.  This
+harness proves it: it warms the cache with one real sweep (self-hosted
+daemon + workers, or a daemon you point it at), then unleashes N
+threads x M submits of the same grid.  Every warm submit dedupes
+against the content-addressed cache, so jobs complete at submit time
+and the measured numbers are pure service overhead: latency
+percentiles, throughput, throttle counts — and a byte-identity check
+of every fetched result against the warm reference.
+"""
+
+import shutil
+import tempfile
+import threading
+import time
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import ServiceConfig, ServiceHandle
+
+
+def _percentile(sorted_values, fraction):
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+def run_loadtest(clients=20, requests=5, workers=1, server_url=None,
+                 scale_name="smoke", grid=None, epochs=None,
+                 queue_limit=1024, log=None, deadline=600.0):
+    """Warm the cache, then hammer the daemon; returns a report dict.
+
+    ``server_url=None`` self-hosts a daemon plus ``workers`` worker
+    subprocesses in a throwaway directory; otherwise the target daemon
+    is used as-is (and must be able to simulate the warmup grid).
+    """
+    from repro.reliability.chaos import default_grid
+    from repro.service.chaos import _spawn_worker
+
+    say = log if log is not None else (lambda message: None)
+    grid = dict(grid if grid is not None else default_grid())
+    grid.setdefault("epochs", epochs)
+    grid_payload = {key: list(value) if isinstance(value, tuple) else value
+                    for key, value in grid.items() if value is not None}
+    scale_spec = {"scale": scale_name}
+
+    handle = None
+    procs = []
+    workdir = None
+    if server_url is None:
+        workdir = tempfile.mkdtemp(prefix="repro-loadtest-")
+        handle = ServiceHandle(ServiceConfig(
+            state_dir=workdir + "/state", cache_dir=workdir + "/cache",
+            queue_limit=queue_limit, client_quota=queue_limit,
+            lease_timeout=10.0)).start()
+        server_url = handle.url
+        procs = [_spawn_worker(server_url, "load-%d" % index)
+                 for index in range(workers)]
+
+    try:
+        say("warming the cache on %s" % server_url)
+        warm_client = ServiceClient(server_url, client="loadtest-warm")
+        warm_start = time.perf_counter()
+        record = warm_client.submit(grid=grid_payload, scale=scale_spec)
+        warm_client.wait(record["job"], deadline=deadline)
+        reference = warm_client.result(record["job"])
+        warm_seconds = time.perf_counter() - warm_start
+        say("cache warm in %.1fs; launching %d clients x %d requests"
+            % (warm_seconds, clients, requests))
+
+        lock = threading.Lock()
+        latencies = []
+        outcomes = {"ok": 0, "errors": 0, "throttled": 0,
+                    "mismatched": 0}
+
+        def one_client(index):
+            client = ServiceClient(server_url,
+                                   client="loadtest-%03d" % index)
+            for _attempt in range(requests):
+                start = time.perf_counter()
+                try:
+                    accepted = client.submit(grid=grid_payload,
+                                             scale=scale_spec,
+                                             deadline=deadline)
+                    if not accepted["done"]:
+                        client.wait(accepted["job"], deadline=deadline)
+                    text = client.result(accepted["job"])
+                except ServiceError:
+                    with lock:
+                        outcomes["errors"] += 1
+                    continue
+                elapsed = time.perf_counter() - start
+                with lock:
+                    latencies.append(elapsed)
+                    if text == reference:
+                        outcomes["ok"] += 1
+                    else:
+                        outcomes["mismatched"] += 1
+
+        start = time.perf_counter()
+        threads = [threading.Thread(target=one_client, args=(index,),
+                                    daemon=True)
+                   for index in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - start
+        stats = warm_client.stats()
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        if handle is not None:
+            handle.stop(drain=False)
+        if workdir is not None:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    latencies.sort()
+    total = clients * requests
+    report = {
+        "clients": clients,
+        "requests_per_client": requests,
+        "total_requests": total,
+        "ok": outcomes["ok"],
+        "errors": outcomes["errors"],
+        "mismatched": outcomes["mismatched"],
+        "throttled": stats["rejected_queue_full"]
+        + stats["rejected_quota"],
+        "identical": outcomes["mismatched"] == 0 and outcomes["ok"] > 0,
+        "warm_s": round(warm_seconds, 3),
+        "wall_s": round(wall, 3),
+        "rps": round(outcomes["ok"] / wall, 1) if wall > 0 else 0.0,
+        "latency_ms": {
+            "p50": round(_percentile(latencies, 0.50) * 1000, 1),
+            "p95": round(_percentile(latencies, 0.95) * 1000, 1),
+            "max": round(latencies[-1] * 1000, 1) if latencies else 0.0,
+        },
+    }
+    return report
+
+
+__all__ = ["run_loadtest"]

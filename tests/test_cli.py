@@ -273,3 +273,112 @@ class TestChaosCLI:
         assert code == 0
         assert "[chaos] OK" in out
         assert "quarantined: 0 (expected 0)" in out
+
+
+class TestCacheCLI:
+    def _fake_cache(self, tmp_path):
+        bucket = tmp_path / "cache" / "objects" / "ab"
+        bucket.mkdir(parents=True)
+        (bucket / ("ab" + "0" * 62 + ".json")).write_text('{"ok": 1}')
+        (bucket / ("ab" + "1" * 62 + ".corrupt")).write_text("garbage!")
+        return str(tmp_path / "cache")
+
+    def test_info_reports_corrupt_entries(self, tmp_path, capsys):
+        cache_dir = self._fake_cache(tmp_path)
+        main(["cache", "info", "--cache-dir", cache_dir])
+        out = capsys.readouterr().out
+        assert "entries          1" in out
+        assert "corrupt entries  1" in out
+
+    def test_clear_corrupt_only_keeps_valid_entries(self, tmp_path,
+                                                    capsys):
+        cache_dir = self._fake_cache(tmp_path)
+        main(["cache", "clear", "--corrupt-only", "--cache-dir",
+              cache_dir])
+        assert "removed 1 corrupt sidelined result(s)" \
+            in capsys.readouterr().out
+        main(["cache", "info", "--cache-dir", cache_dir])
+        out = capsys.readouterr().out
+        assert "entries          1" in out
+        assert "corrupt entries  0" in out
+
+
+class TestServiceCLI:
+    def test_worker_rejects_bad_fault_spec(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["worker", "--server", "http://127.0.0.1:1",
+                  "--fault", "explode-randomly"])
+        assert excinfo.value.code == 2
+        assert "unknown worker fault" in capsys.readouterr().err
+
+    def test_worker_poll_interval_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["worker", "--server", "http://127.0.0.1:1",
+                  "--poll-interval", "0"])
+        assert excinfo.value.code == 2
+        assert "--poll-interval" in capsys.readouterr().err
+
+    def test_submit_needs_a_grid(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["submit", "--server", "http://127.0.0.1:1"])
+        assert excinfo.value.code == 2
+        assert "--workloads or --groups" in capsys.readouterr().err
+
+    def test_serve_validates_limits(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--queue-limit", "0"])
+        assert excinfo.value.code == 2
+        assert "queue_limit" in capsys.readouterr().err
+
+    def test_loadtest_validates_counts(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["loadtest", "--clients", "0"])
+        assert excinfo.value.code == 2
+        assert "--clients" in capsys.readouterr().err
+
+    def test_submit_against_a_live_daemon(self, tmp_path, capsys):
+        from repro.service.server import ServiceConfig, ServiceHandle
+
+        handle = ServiceHandle(ServiceConfig(
+            state_dir=str(tmp_path / "state"),
+            cache_dir=str(tmp_path / "cache"))).start()
+        worker = None
+        try:
+            import threading
+
+            from repro.service.worker import run_worker
+
+            worker = threading.Thread(
+                target=run_worker,
+                kwargs=dict(server_url=handle.url, max_cells=1),
+                daemon=True)
+            worker.start()
+            out_path = tmp_path / "merged.json"
+            code = main(["submit", "--server", handle.url,
+                         "--workloads", "art-mcf",
+                         "--policies", "ICOUNT", "--scale", "smoke",
+                         "--epochs", "2", "--quiet",
+                         "--out", str(out_path)])
+            assert code == 0
+            assert "merged results written" in capsys.readouterr().out
+            doc_text = out_path.read_text()
+            assert doc_text.endswith("\n")
+
+            from repro.experiments.parallel import (
+                SweepEngine,
+                grid_cells,
+                merged_json,
+            )
+
+            # submit's --epochs is a scale override, like sweep's.
+            cells = grid_cells(workloads=["art-mcf"],
+                               policies=["ICOUNT"])
+            scale = ExperimentScale.smoke().with_overrides(epochs=2)
+            engine = SweepEngine(scale, jobs=1,
+                                 cache_dir=str(tmp_path / "ref"))
+            assert doc_text == merged_json(
+                cells, engine.run_cells(cells), scale)
+        finally:
+            if worker is not None:
+                worker.join(timeout=30.0)
+            handle.stop(drain=False)

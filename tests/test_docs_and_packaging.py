@@ -17,6 +17,7 @@ CLI.
 import importlib
 import os
 import pkgutil
+import re
 import shutil
 import subprocess
 import sys
@@ -26,13 +27,15 @@ from pathlib import Path
 import pytest
 
 import repro
+from repro.reliability.supervisor import SWEEP_EVENTS
+from repro.service.protocol import SERVICE_EVENTS
 
 ROOT = Path(__file__).resolve().parent.parent
 
 # -- fenced-block extraction ------------------------------------------------
 
 DOC_FILES = ("README.md", "EXPERIMENTS.md", "docs/PARALLEL.md",
-             "docs/RELIABILITY.md", "docs/ANALYSIS.md")
+             "docs/RELIABILITY.md", "docs/ANALYSIS.md", "docs/SERVICE.md")
 
 Snippet = namedtuple("Snippet", "name lineno info body")
 
@@ -72,7 +75,7 @@ class TestDocumentsExist:
     @pytest.mark.parametrize("name", [
         "README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/INTERNALS.md",
         "docs/PARALLEL.md", "docs/RELIABILITY.md", "docs/WORKLOADS.md",
-        "docs/ANALYSIS.md",
+        "docs/ANALYSIS.md", "docs/SERVICE.md",
     ])
     def test_document_present_and_substantial(self, name):
         path = ROOT / name
@@ -140,6 +143,33 @@ class TestModuleDocstrings:
         parts = repro.__version__.split(".")
         assert len(parts) == 3
         assert all(part.isdigit() for part in parts)
+
+
+class TestEventTableDrift:
+    """The docs carry the canonical event-name tables between HTML
+    sentinel comments; each block must list *exactly* the code table,
+    in order, so prose and code can never disagree about the sweep
+    event vocabulary."""
+
+    @staticmethod
+    def _sentinel_names(doc, tag):
+        text = (ROOT / doc).read_text()
+        match = re.search(
+            r"<!-- %s:begin -->(.*?)<!-- %s:end -->" % (tag, tag),
+            text, re.S)
+        assert match, "%s: missing %s sentinel block" % (doc, tag)
+        return re.findall(r"`([a-z][a-z-]*)`", match.group(1))
+
+    def test_parallel_md_lists_exactly_the_sweep_events(self):
+        names = self._sentinel_names("docs/PARALLEL.md", "sweep-events")
+        assert names == list(SWEEP_EVENTS)
+
+    def test_service_md_lists_exactly_the_service_events(self):
+        names = self._sentinel_names("docs/SERVICE.md", "service-events")
+        assert names == list(SERVICE_EVENTS)
+
+    def test_the_two_tables_do_not_overlap(self):
+        assert not set(SWEEP_EVENTS) & set(SERVICE_EVENTS)
 
 
 # -- executable documentation ----------------------------------------------
@@ -233,24 +263,31 @@ class TestDocCliFlagsExist:
                 rest = words[at + 2:]
                 if not rest or rest[0].startswith("-"):
                     continue
+                # `repro cache clear --corrupt-only`: flags live on the
+                # sub-subparser, so keep one leading bare word to ask
+                # `repro cache clear --help` rather than `cache --help`.
+                sub = tuple(word for word in rest[1:2]
+                            if not word.startswith("-"))
                 flags = [word.split("=")[0] for word in rest[1:]
                          if word.startswith("--")]
-                calls.append((block, rest[0], tuple(flags)))
+                calls.append((block, rest[0], sub, tuple(flags)))
         return calls
 
     def test_docs_actually_document_the_cli(self):
-        commands = {command for __, command, __ in self._invocations()}
-        assert {"sweep", "cache", "run", "verify"} <= commands
+        commands = {command for __, command, __, __ in self._invocations()}
+        assert {"sweep", "cache", "run", "verify", "serve", "worker",
+                "submit", "chaos", "loadtest"} <= commands
 
     def test_documented_flags_exist(self):
         help_texts = {}
-        for block, command, flags in self._invocations():
-            if command not in help_texts:
-                proc = _run([sys.executable, "-m", "repro", command,
-                             "--help"], None)
-                assert proc.returncode == 0, (command, proc.stdout)
-                help_texts[command] = proc.stdout
+        for block, command, sub, flags in self._invocations():
+            key = (command,) + sub
+            if key not in help_texts:
+                proc = _run([sys.executable, "-m", "repro"] + list(key)
+                            + ["--help"], None)
+                assert proc.returncode == 0, (key, proc.stdout)
+                help_texts[key] = proc.stdout
             for flag in flags:
-                assert flag in help_texts[command], (
+                assert flag in help_texts[key], (
                     "%s line %d documents %s %s, unknown to --help"
-                    % (block.name, block.lineno, command, flag))
+                    % (block.name, block.lineno, " ".join(key), flag))

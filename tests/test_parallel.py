@@ -330,6 +330,70 @@ class TestCacheCorruptionHandling:
         # The moved-aside entry can never shadow the re-simulated result.
         assert cache.get(key) is None
 
+    def test_info_counts_corrupt_entries_and_clear_can_target_them(
+            self, scale, tmp_path, capsys):
+        cells = small_grid()[:2]
+        cache_dir = str(tmp_path / "cache")
+        SweepEngine(scale, cache_dir=cache_dir).run_cells(cells)
+        cache = ResultCache(cache_dir)
+        key = cache_key(cells[0], scale)
+        with open(cache._path(key), "w") as handle:
+            handle.write("not json")
+        assert cache.get(key) is None  # sidelines it as .corrupt
+        capsys.readouterr()
+
+        stats = cache.info()
+        assert stats.entries == 1
+        assert stats.corrupt == 1
+        assert stats.corrupt_bytes > 0
+
+        # --corrupt-only removes the sidelined entry, keeps the result.
+        assert cache.clear(corrupt_only=True) == 1
+        stats = cache.info()
+        assert (stats.entries, stats.corrupt, stats.corrupt_bytes) \
+            == (1, 0, 0)
+        assert cache.get(cache_key(cells[1], scale)) is not None
+
+        # A plain clear removes valid and sidelined entries alike.
+        with open(cache._path(key), "w") as handle:
+            handle.write("still not json")
+        assert cache.get(key) is None
+        capsys.readouterr()
+        assert cache.clear() == 2
+        assert cache.info().entries == 0
+
+
+class TestCacheConcurrency:
+    def test_put_survives_a_racing_clear(self, scale, tmp_path):
+        import shutil
+
+        cell = small_grid()[0]
+        cache_dir = str(tmp_path / "cache")
+        SweepEngine(scale, cache_dir=cache_dir).run_cells([cell])
+        cache = ResultCache(cache_dir)
+        key = cache_key(cell, scale)
+        result = cache.get(key)
+        assert result is not None
+
+        # A concurrent engine's clear() can rip the bucket directory out
+        # from under a put(); put recreates it instead of raising.
+        shutil.rmtree(cache.objects_dir)
+        cache.put(key, cell, result)
+        assert cache.get(key) == result
+
+    def test_duplicate_put_on_the_same_key_is_a_silent_noop(
+            self, scale, tmp_path):
+        cell = small_grid()[0]
+        cache_dir = str(tmp_path / "cache")
+        SweepEngine(scale, cache_dir=cache_dir).run_cells([cell])
+        cache = ResultCache(cache_dir)
+        key = cache_key(cell, scale)
+        result = cache.get(key)
+        cache.put(key, cell, result)
+        cache.put(key, cell, result)
+        assert cache.info().entries == 1
+        assert cache.get(key) == result
+
 
 class TestPureCacheMerge:
     def test_empty_task_list_short_circuits(self):

@@ -128,6 +128,15 @@ class TestQuarantineLedger:
         path.write_text('{"cell": "a"}\n{"cell": "b"\n')
         assert QuarantineLedger(str(path)).entries() == [{"cell": "a"}]
 
+    def test_torn_line_prints_a_one_line_warning(self, tmp_path, capsys):
+        path = tmp_path / "q.jsonl"
+        path.write_text('{"cell": "a"}\n{"cell": "b"\n{"cell": "c"}\n')
+        assert QuarantineLedger(str(path)).entries() == [
+            {"cell": "a"}, {"cell": "c"}]
+        err = capsys.readouterr().err
+        assert "skipping corrupt quarantine-ledger line 2" in err
+        assert str(path) in err
+
 
 # -- the supervisor, in-process (jobs=1 path) -------------------------------
 
@@ -300,6 +309,7 @@ class TestSupervisedEngine:
 class TestChaosPresets:
     def test_cli_choices_match_the_preset_table(self):
         from repro.cli import build_parser
+        from repro.service.chaos import SERVICE_CHAOS_PRESETS
 
         parser = build_parser()
         commands = next(action for action in parser._actions
@@ -307,7 +317,10 @@ class TestChaosPresets:
         chaos = commands.choices["chaos"]
         preset = next(action for action in chaos._actions
                       if "--preset" in action.option_strings)
-        assert sorted(preset.choices) == sorted(CHAOS_PRESETS)
+        assert sorted(preset.choices) == sorted(
+            set(CHAOS_PRESETS) | set(SERVICE_CHAOS_PRESETS))
+        # The two tiers must never reuse a name: dispatch is by table.
+        assert not set(CHAOS_PRESETS) & set(SERVICE_CHAOS_PRESETS)
 
     def test_every_preset_builds_a_plan(self):
         cells = small_cells()
