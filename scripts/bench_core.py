@@ -6,16 +6,23 @@ Two modes:
 
 ``python scripts/bench_core.py --out BENCH_core.json``
     Full bench matrix (see :func:`repro.experiments.profiling.bench_document`):
-    MEM-heavy Figure 4 cells under both cores at the paper's memory
-    latency and at the far-memory stress latency, with per-cell speedups.
-    Takes a few minutes on the paper machine config.
+    MEM-heavy Figure 4 cells under the fast and reference cores at the
+    paper's memory latency and at the far-memory stress latency with
+    per-cell speedups, plus the ``"grid"`` section — a fig4-style sweep
+    grid timed end to end under the three lanes (per-cell hermetic fast,
+    per-cell shared-cache fast, lockstep batched; see
+    :func:`repro.experiments.profiling.bench_grid`).  Takes several
+    minutes on the paper machine config.
 
 ``python scripts/bench_core.py --check``
-    CI smoke: one MEM-heavy Figure 4 cell (art-mcf under FLUSH) at the
-    stress latency on a trimmed window, asserting the fast core's KIPS is
-    at least the reference core's.  That cell's true speedup is ~2x, so
-    the >= 1.0 gate has a wide margin against CI-runner noise.  Exits 1
-    with a diagnostic on failure.
+    CI smoke, two legs.  First one MEM-heavy Figure 4 cell (art-mcf
+    under FLUSH) at the stress latency on a trimmed window, asserting
+    the fast core's KIPS is at least the reference core's — that cell's
+    true speedup is ~2x, so the >= 1.0 gate has a wide margin against
+    CI-runner noise.  Then a four-cell MEM2 grid through all three
+    lanes, asserting the lanes stayed byte-identical (bench_grid raises
+    otherwise) and the batched pack's aggregate KIPS is at least the
+    hermetic fast lane's.  Exits 1 with a diagnostic on failure.
 """
 
 import argparse
@@ -29,15 +36,17 @@ sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 from repro.experiments.profiling import (  # noqa: E402
     STRESS_MEM_LATENCY,
     bench_document,
+    bench_grid,
 )
 
 
 def run_check(epochs, warmup):
-    """One stress cell, both cores; fail unless fast keeps up."""
+    """One stress cell, both cores, then a small three-lane grid."""
     document = bench_document(epochs=epochs, warmup=warmup,
                               cells=(("art-mcf", "FLUSH"),),
                               mem_latencies=(STRESS_MEM_LATENCY,),
-                              progress=lambda line: print("[bench] " + line))
+                              progress=lambda line: print("[bench] " + line),
+                              grid=False)
     cell = document["cells"][0]
     fast, reference = cell["fast"], cell["reference"]
     print("[bench] fast %.1f KIPS (skip ratio %.3f) vs reference %.1f KIPS"
@@ -57,6 +66,22 @@ def run_check(epochs, warmup):
               file=sys.stderr)
         return 1
     print("[bench] OK: fast-core speedup %.2fx" % cell["speedup"])
+    # Leg two: the batched lane on a small MEM-bound grid.  bench_grid
+    # raises if the lanes' results diverge, so reaching the KIPS gate
+    # already proves byte-identity.
+    grid = bench_grid(epochs=epochs, warmup=warmup, groups=("MEM2",),
+                      policies=("ICOUNT", "FLUSH"), workloads_per_group=2,
+                      progress=lambda line: print("[bench] " + line))
+    fast_lane, batched = grid["lanes"]["fast"], grid["lanes"]["batched"]
+    print("[bench] grid (%d cells): fast %.1f KIPS vs batched %.1f KIPS"
+          % (grid["cells"], fast_lane["kips"], batched["kips"]))
+    if batched["kips"] < fast_lane["kips"]:
+        print("error: batched lane slower than hermetic fast "
+              "(%.1f < %.1f aggregate KIPS) on the MEM2 smoke grid"
+              % (batched["kips"], fast_lane["kips"]), file=sys.stderr)
+        return 1
+    print("[bench] OK: batched-lane speedup %.2fx"
+          % batched["speedup_vs_fast"])
     return 0
 
 
@@ -72,6 +97,12 @@ def run_full(out, epochs, warmup):
           % (len(document["cells"]), out, best["speedup"],
              best["workload"], best["policy"], best["mem_latency"],
              best["fast"]["skip_ratio"]))
+    grid = document["grid"]
+    print("[bench] grid (%d cells @ mem=%d): batched %.2fx, "
+          "fast-serial %.2fx over hermetic fast"
+          % (grid["cells"], grid["mem_latency"],
+             grid["lanes"]["batched"]["speedup_vs_fast"],
+             grid["lanes"]["fast-serial"]["speedup_vs_fast"]))
     return 0
 
 

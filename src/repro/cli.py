@@ -84,6 +84,7 @@ from repro.experiments.runner import (
     run_policy,
     solo_ipc,
 )
+from repro.pipeline.fastpath import CORE_MODES
 from repro.workloads.mixes import GROUPS, get_workload, workload_names
 from repro.workloads.spec2000 import PROFILES, get_profile
 
@@ -456,6 +457,18 @@ def cmd_sweep(args):
         _fail("--cell-timeout must be a positive number of seconds")
     if args.max_attempts < 1:
         _fail("--max-attempts must be >= 1")
+    if args.batch_cells < 1:
+        _fail("--batch-cells must be >= 1")
+    if args.batch_cells > 1:
+        # Packed cells carry no per-cell heartbeat/retry or mid-run
+        # checkpoint machinery; batching therefore replaces supervision
+        # and is incompatible with resumable sweeps (docs/PERFORMANCE.md).
+        if args.resume_dir is not None:
+            _fail("--batch-cells is incompatible with --resume-dir "
+                  "(packed cells do not checkpoint mid-run)")
+        if args.cell_timeout is not None:
+            _fail("--batch-cells is incompatible with --cell-timeout "
+                  "(packed cells run unsupervised)")
     groups = list(args.groups or [])
     policies = list(args.policies or [])
     if args.preset is not None:
@@ -479,10 +492,12 @@ def cmd_sweep(args):
         scale, jobs=args.jobs, cache_dir=args.cache_dir,
         events_path=args.events, resume_dir=args.resume_dir,
         use_cache=not args.no_cache,
-        supervision=Supervision(cell_timeout=args.cell_timeout,
-                                max_attempts=args.max_attempts,
-                                degrade=not args.no_degrade,
-                                seed=scale.seed),
+        supervision=None if args.batch_cells > 1 else Supervision(
+            cell_timeout=args.cell_timeout,
+            max_attempts=args.max_attempts,
+            degrade=not args.no_degrade,
+            seed=scale.seed),
+        batch_cells=args.batch_cells,
         on_event=None if args.quiet else _print_sweep_event)
     try:
         results = engine.run_cells(cells)
@@ -693,11 +708,14 @@ def cmd_worker(args):
 
     if args.poll_interval <= 0:
         _fail("--poll-interval must be a positive number of seconds")
+    if args.batch_cells < 1:
+        _fail("--batch-cells must be >= 1")
     try:
         summary = run_worker(
             args.server, poll_interval=args.poll_interval,
             max_cells=args.max_cells, idle_exit=args.idle_exit,
             fault=args.fault, name=args.name,
+            batch_cells=args.batch_cells,
             log=None if args.quiet else (
                 lambda message: print("[worker] %s" % message,
                                       file=sys.stderr)))
@@ -932,6 +950,12 @@ def build_parser():
                      help="abort instead of falling back to in-process "
                           "serial execution when the worker pool keeps "
                           "collapsing")
+    sub.add_argument("--batch-cells", type=int, default=1, metavar="N",
+                     help="pack up to N cells per process through the "
+                          "batched core lane (byte-identical results, "
+                          "shared replay tapes + SingleIPC runs); "
+                          "incompatible with --resume-dir and "
+                          "--cell-timeout (default: 1 = per-cell)")
     sub.add_argument("--quiet", action="store_true",
                      help="suppress live progress lines")
     _add_scale_args(sub)
@@ -978,9 +1002,13 @@ def build_parser():
              "per-stage activity under each core")
     sub.add_argument("--workload", default="art-mcf")
     sub.add_argument("--policy", default="ICOUNT")
-    sub.add_argument("--cores", nargs="+", choices=("fast", "reference"),
+    sub.add_argument("--cores", nargs="+", choices=CORE_MODES,
                      default=["fast", "reference"],
-                     help="which run-loop cores to time")
+                     help="which run-loop cores to time: %s "
+                          "(default: fast reference; batched times a "
+                          "batch-of-one — pack throughput is the grid "
+                          "section of scripts/bench_core.py)"
+                          % " ".join(CORE_MODES))
     sub.add_argument("--out", default=None, metavar="FILE",
                      help="write the profile records as JSON here")
     _add_scale_args(sub)
@@ -1065,6 +1093,11 @@ def build_parser():
     sub.add_argument("--fault", default=None, metavar="SPEC",
                      help="chaos hook, e.g. split-result:2 (corrupt the "
                           "first 2 result uploads)")
+    sub.add_argument("--batch-cells", type=int, default=1, metavar="N",
+                     help="lease up to N cells per loop and pack the "
+                          "fresh ones through the batched core lane; "
+                          "cells with a checkpoint to resume keep the "
+                          "per-cell path (default: 1)")
     sub.add_argument("--quiet", action="store_true",
                      help="suppress worker log lines")
     sub.set_defaults(func=cmd_worker)

@@ -92,8 +92,14 @@ class EpochController:
         if repair is not None:
             self.repairs.append((self.epoch_id, stage, repair))
 
-    def run_epoch(self):
-        """Execute one epoch and return its :class:`EpochResult`."""
+    def begin_epoch(self):
+        """Everything :meth:`run_epoch` does *before* the processor window:
+        fault injection, sanitize, invariant pre-check, the policy's epoch
+        plan and the solo-fetch restriction.  Split out (pure code motion)
+        so the batched lane (:mod:`repro.experiments.batchrun`) can
+        interleave many processors' windows between each controller's pre-
+        and post-epoch work.  Returns ``(solo_thread, before_stats)`` to
+        hand back to :meth:`finish_epoch`."""
         proc = self.proc
         if self.injector is not None:
             self.injector.before_epoch(proc, self.epoch_id)
@@ -103,8 +109,13 @@ class EpochController:
         solo_thread = proc.policy.plan_epoch(proc, self.epoch_id)
         if solo_thread is not None:
             proc.set_enabled({solo_thread})
-        before = proc.stats.copy()
-        proc.run(self.epoch_size)
+        return solo_thread, proc.stats.copy()
+
+    def finish_epoch(self, solo_thread, before):
+        """Everything :meth:`run_epoch` does *after* the processor window:
+        delta accounting, the policy's feedback hook, sanitize, invariant
+        post-check, history.  Counterpart of :meth:`begin_epoch`."""
+        proc = self.proc
         committed, cycles = proc.stats.delta_since(before)
         shares = proc.partitions.shares
         result = EpochResult(
@@ -124,6 +135,12 @@ class EpochController:
         self.history.append(result)
         self.epoch_id += 1
         return result
+
+    def run_epoch(self):
+        """Execute one epoch and return its :class:`EpochResult`."""
+        solo_thread, before = self.begin_epoch()
+        self.proc.run(self.epoch_size)
+        return self.finish_epoch(solo_thread, before)
 
     def run(self, num_epochs):
         """Execute ``num_epochs`` epochs; returns their results."""

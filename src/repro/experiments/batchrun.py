@@ -1,0 +1,300 @@
+"""Batched sweep-cell execution: many cells, one process, one lockstep.
+
+This is the pack layer of ``REPRO_CORE=batched`` (``repro sweep
+--batch-cells N``).  :mod:`repro.pipeline.batched` knows how to advance
+many processors through their run windows in lockstep; this module knows
+how to turn a list of :class:`~repro.experiments.parallel.SweepCell`
+requests into those processors and back into byte-identical
+:class:`~repro.experiments.runner.RunResult` payloads:
+
+* **Shared replay tapes.**  Cells that differ only in policy replay the
+  *same* instruction streams.  A :class:`SharedTape` records the specs a
+  recorder :class:`~repro.workloads.generator.SyntheticStream` produces,
+  any number of :class:`ReplayStream` readers re-materialize
+  :class:`~repro.workloads.generator.Instruction` objects from it, and
+  the tape is trimmed to the slowest reader's frontier between lockstep
+  rounds so memory stays proportional to the pack's divergence, not the
+  run length.
+* **Epoch-granular lockstep.**  Each round runs every live cell's
+  :meth:`~repro.core.controller.EpochController.begin_epoch`, advances
+  all their epoch windows through one
+  :class:`~repro.pipeline.batched.BatchCore`, then runs every
+  :meth:`~repro.core.controller.EpochController.finish_epoch` — the
+  same call sequence per cell as a serial run, just interleaved across
+  cells.
+* **Shared SingleIPC runs.**  Solo (stand-alone IPC) runs go through the
+  ordinary :func:`~repro.experiments.runner.solo_ipcs` cache, so a pack
+  computes each (benchmark, config, seed) solo once instead of once per
+  cell — in a fig4-style grid the dominant share of per-cell cost.
+
+Fallback rules (docs/PERFORMANCE.md): packs carry no mid-run
+checkpointing and no fault injection — divergence-risk cells (an
+existing checkpoint to resume, a chaos plan, supervision) take the
+per-cell resilient path instead, which the sweep engine and service
+worker enforce by construction.  Results never depend on pack
+composition: the equivalence suite packs all eleven policy families and
+compares against serial runs byte for byte.
+"""
+
+from repro.core.controller import EpochController
+from repro.experiments.parallel import policy_factory
+from repro.experiments.runner import RunResult, solo_ipcs
+from repro.pipeline.batched import BatchCore
+from repro.pipeline.processor import SMTProcessor
+from repro.reliability.supervisor import CellBootstrapError
+from repro.workloads.generator import Instruction, SyntheticStream
+from repro.workloads.mixes import get_workload
+
+__all__ = ["SharedTape", "ReplayStream", "TapeDeck", "pack_cells",
+           "run_pack"]
+
+
+class SharedTape:
+    """Append-only instruction-spec record of one synthetic stream.
+
+    One recorder :class:`SyntheticStream` is the single source of truth;
+    readers never touch it directly, so however many cells replay the
+    tape, the stream's RNG advances exactly once per position and every
+    reader sees the identical sequence a private stream would have
+    produced.  Only the *static* instruction fields are recorded —
+    dynamic pipeline state is (re)initialized by the
+    :class:`Instruction` constructor, exactly as for a freshly generated
+    instruction.
+    """
+
+    def __init__(self, profile, thread_id=0, seed=0, phase_period=None):
+        self._recorder = SyntheticStream(profile, thread_id=thread_id,
+                                         seed=seed,
+                                         phase_period=phase_period)
+        self.profile = profile
+        self.thread_id = thread_id
+        self.base = self._recorder._base
+        self.readers = []
+        self._specs = []
+        self._offset = 0
+
+    def attach(self):
+        """A new :class:`ReplayStream` reading this tape from seq 0."""
+        reader = ReplayStream(self)
+        self.readers.append(reader)
+        return reader
+
+    def release(self, reader):
+        """Detach a finished reader so it no longer pins the tape."""
+        self.readers.remove(reader)
+
+    def spec(self, seq):
+        """The static spec tuple at position ``seq``, recording forward
+        from the generator as needed."""
+        index = seq - self._offset
+        if index < 0:
+            raise IndexError(
+                "tape for %s/t%d trimmed past seq %d"
+                % (self.profile.name, self.thread_id, seq))
+        specs = self._specs
+        append = specs.append
+        recorder = self._recorder
+        while index >= len(specs):
+            instr = recorder.next_instruction()
+            append((instr.thread, instr.seq, instr.op, instr.is_fp,
+                    instr.srcs, instr.pc, instr.taken, instr.addr))
+        return specs[index]
+
+    @property
+    def retained(self):
+        """Spec count currently held (memory proportional to the pack's
+        fastest-to-slowest reader spread, not the run length)."""
+        return len(self._specs)
+
+    def trim(self):
+        """Drop specs every attached reader has consumed."""
+        if not self.readers:
+            return
+        low = min(reader.seq for reader in self.readers)
+        drop = low - self._offset
+        if drop > 0:
+            del self._specs[:drop]
+            self._offset = low
+
+
+class ReplayStream:
+    """Stream interface over a :class:`SharedTape`.
+
+    Duck-types the two things the pipeline needs from a stream:
+    ``next_instruction()`` and the ``_base`` address-space offset
+    (``SMTProcessor._warm_caches``).  The instructions it returns are
+    fresh objects — cells sharing a tape never share mutable state.
+    """
+
+    __slots__ = ("tape", "seq", "profile", "thread_id", "_base")
+
+    def __init__(self, tape):
+        self.tape = tape
+        self.seq = 0
+        self.profile = tape.profile
+        self.thread_id = tape.thread_id
+        self._base = tape.base
+
+    def next_instruction(self):
+        seq = self.seq
+        spec = self.tape.spec(seq)
+        self.seq = seq + 1
+        return Instruction(*spec)
+
+
+class TapeDeck:
+    """Registry of shared tapes for one pack, keyed by everything that
+    determines a stream's content: (profile name, thread id, seed,
+    phase period)."""
+
+    def __init__(self):
+        self._tapes = {}
+
+    def stream(self, profile, thread_id, seed, phase_period=None):
+        key = (profile.name, thread_id, seed, phase_period)
+        tape = self._tapes.get(key)
+        if tape is None:
+            tape = SharedTape(profile, thread_id=thread_id, seed=seed,
+                              phase_period=phase_period)
+            self._tapes[key] = tape
+        return tape.attach()
+
+    def trim(self):
+        for tape in self._tapes.values():
+            tape.trim()
+
+    @property
+    def retained(self):
+        """Total specs held across all tapes (tests assert trimming)."""
+        return sum(tape.retained for tape in self._tapes.values())
+
+
+class _CellState:
+    """Per-cell bookkeeping while a pack is in flight."""
+
+    __slots__ = ("cell", "workload", "seeded", "proc", "controller",
+                 "streams", "remaining", "pending")
+
+    def __init__(self, cell, workload, seeded, proc, controller, streams,
+                 remaining):
+        self.cell = cell
+        self.workload = workload
+        self.seeded = seeded
+        self.proc = proc
+        self.controller = controller
+        self.streams = streams
+        self.remaining = remaining
+        self.pending = None
+
+
+def pack_cells(cells, batch_cells):
+    """Partition cells into packs of at most ``batch_cells``.
+
+    Cells are stably grouped by (workload, seed) first so cells that can
+    share replay tapes land in the same pack; within a group, request
+    order is preserved.  Pack composition never affects results — only
+    how much tape sharing a pack enjoys.
+    """
+    if batch_cells < 1:
+        raise ValueError("batch_cells must be >= 1")
+    cells = list(cells)
+    order = sorted(range(len(cells)),
+                   key=lambda i: (cells[i].workload, cells[i].seed, i))
+    return [[cells[i] for i in order[start:start + batch_cells]]
+            for start in range(0, len(order), batch_cells)]
+
+
+def run_pack(cells, scale, budget=8192):
+    """Simulate a pack of sweep cells in lockstep; returns one
+    :class:`RunResult` per cell, in the pack's order, byte-identical to
+    what :func:`~repro.experiments.runner.run_policy` produces serially.
+
+    The window work itself always runs through :class:`BatchCore` (that
+    *is* the batched lane — ``REPRO_CORE`` does not change what this
+    function computes); the shared SingleIPC runs at the end go through
+    ``proc.run`` under whatever core is selected, all of which are
+    byte-identical.  Construction failures (unknown workload/policy)
+    raise :class:`CellBootstrapError` like the per-cell worker.
+    """
+    cells = list(cells)
+    if not cells:
+        return []
+    deck = TapeDeck()
+    states = []
+    for cell in cells:
+        try:
+            workload = get_workload(cell.workload)
+            policy = policy_factory(cell.policy, scale)()
+        except CellBootstrapError:
+            raise
+        except Exception as exc:
+            raise CellBootstrapError(
+                "cannot construct cell %s: %s: %s"
+                % (cell.label, type(exc).__name__, exc)) from exc
+        seeded = (scale if scale.seed == cell.seed
+                  else scale.with_overrides(seed=cell.seed))
+        streams = [deck.stream(profile, tid, seeded.seed)
+                   for tid, profile in enumerate(workload.profiles)]
+        proc = SMTProcessor(seeded.config, workload.profiles,
+                            seed=seeded.seed, policy=policy,
+                            streams=streams)
+        remaining = cell.epochs if cell.epochs is not None \
+            else seeded.epochs
+        states.append(_CellState(cell, workload, seeded, proc, None,
+                                 streams, remaining))
+    core = BatchCore([state.proc for state in states], budget=budget)
+    if scale.warmup:
+        core.advance([(index, state.proc.cycle + state.seeded.warmup)
+                      for index, state in enumerate(states)],
+                     on_round=deck.trim)
+    for state in states:
+        # Controllers capture their whole-run accounting baseline at
+        # construction, so they must be built *after* warmup — exactly
+        # where run_policy builds them (make_processor warms first).
+        state.controller = EpochController(state.proc,
+                                           epoch_size=state.seeded.epoch_size)
+    active = [index for index, state in enumerate(states)
+              if state.remaining > 0]
+    while active:
+        windows = []
+        for index in active:
+            state = states[index]
+            state.pending = state.controller.begin_epoch()
+            windows.append((index, state.proc.cycle
+                            + state.controller.epoch_size))
+        core.advance(windows, on_round=deck.trim)
+        still = []
+        for index in active:
+            state = states[index]
+            state.controller.finish_epoch(*state.pending)
+            state.pending = None
+            state.remaining -= 1
+            if state.remaining > 0:
+                still.append(index)
+            else:
+                for reader in state.streams:
+                    reader.tape.release(reader)
+        deck.trim()
+        active = still
+    results = []
+    for state in states:
+        committed, cycles = state.controller.totals()
+        results.append(RunResult(
+            workload=state.workload.name,
+            policy=state.proc.policy.name,
+            ipcs=state.controller.overall_ipcs(),
+            committed=committed,
+            cycles=cycles,
+            single_ipcs=solo_ipcs(state.workload, state.seeded),
+            epoch_history=state.controller.history,
+        ))
+    return results
+
+
+def _execute_pack(cells, scale):
+    """Pool-friendly pack worker: ``[(RunResult, resumed), ...]`` with
+    the same per-cell payload shape as
+    :func:`~repro.experiments.parallel._execute_cell` (packed cells are
+    never resumed — the fallback rules route resumable cells to the
+    per-cell path)."""
+    return [(result, False) for result in run_pack(cells, scale)]

@@ -212,9 +212,12 @@ _FAMILY_ENTRIES = {
 #: additionally depends on the import-graph builder itself.
 _CORE_SOURCES = (
     # Directory entries hash every .py under them, so the run-loop core
-    # modules (pipeline/fastpath.py, pipeline/profile.py) are covered by
-    # "pipeline" — editing the fast path invalidates every cell, exactly
-    # as editing the reference loop does.
+    # modules (pipeline/fastpath.py, pipeline/profile.py and the batched
+    # lane's pipeline/batched.py) are covered by "pipeline" — editing any
+    # core invalidates every cell, exactly as editing the reference loop
+    # does.  The pack layer rides along explicitly: cache keys stay
+    # core-agnostic only because every core is proven byte-identical, so
+    # editing the pack layer must invalidate like editing a core.
     "pipeline", "memory", "branch", "workloads",
     "__init__.py", "core/__init__.py", "experiments/__init__.py",
     "policies/__init__.py", "reliability/__init__.py",
@@ -223,7 +226,7 @@ _CORE_SOURCES = (
     "core/controller.py", "core/metrics.py",
     "policies/base.py", "policies/icount.py",
     "experiments/runner.py", "experiments/parallel.py",
-    "experiments/export.py",
+    "experiments/batchrun.py", "experiments/export.py",
     "reliability/guard.py", "reliability/invariants.py",
     "reliability/supervisor.py",
 )
@@ -646,13 +649,32 @@ class SweepEngine:
     fault_plan:
         Optional picklable chaos plan (:mod:`repro.reliability.chaos`)
         whose hooks perturb supervised workers; test/bench-only.
+    batch_cells:
+        With ``batch_cells > 1`` pending cells run through the batched
+        core lane (:mod:`repro.experiments.batchrun`): packs of up to
+        ``batch_cells`` cells simulate in lockstep inside one process,
+        sharing replay tapes and SingleIPC runs.  Results and cache
+        entries stay byte-identical to per-cell execution (cache keys
+        are core-agnostic).  Packed cells forgo the divergence-risk
+        machinery, so ``batch_cells > 1`` is incompatible with
+        ``supervision``, ``resume_dir`` and ``fault_plan`` — cells
+        needing those run per-cell (docs/PERFORMANCE.md).
     """
 
     def __init__(self, scale, jobs=1, cache_dir=None, events_path=None,
                  on_event=None, resume_dir=None, use_cache=True,
-                 supervision=None, fault_plan=None):
+                 supervision=None, fault_plan=None, batch_cells=1):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if batch_cells < 1:
+            raise ValueError("batch_cells must be >= 1")
+        if batch_cells > 1 and (supervision is not None
+                                or resume_dir is not None):
+            raise ValueError(
+                "batch_cells > 1 is incompatible with supervision and "
+                "resume_dir: packed cells carry no per-cell heartbeat, "
+                "retry or mid-run checkpoint machinery (use the per-cell "
+                "paths for resumable/supervised sweeps)")
         if fault_plan is not None and supervision is None:
             raise ValueError("fault_plan requires supervision")
         self.scale = scale
@@ -667,6 +689,7 @@ class SweepEngine:
         self.resume_dir = resume_dir
         self.supervision = supervision
         self.fault_plan = fault_plan
+        self.batch_cells = batch_cells
         self.stats = {"hits": 0, "misses": 0, "resumed": 0}
         self.quarantined = {}
         self.supervisor_stats = {"retries": 0, "timeouts": 0,
@@ -750,6 +773,8 @@ class SweepEngine:
             if self.supervision is not None:
                 self._run_supervised(pending, cached, len(unique),
                                      started_at)
+            elif self.batch_cells > 1:
+                self._run_batched(pending, cached, len(unique), started_at)
             elif self.jobs == 1:
                 self._run_serial(pending, cached, len(unique), started_at)
             else:
@@ -785,6 +810,58 @@ class SweepEngine:
             self._emit("cell-done", cell=cell.label, resumed=resumed,
                        **self._progress(done, cached, 0, total, started_at,
                                         index + 1))
+
+    def _run_batched(self, pending, cached, total, started_at):
+        """Fan pending cells out as lockstep packs (batched core lane).
+
+        Packs run serially in-process with ``jobs=1`` and over the
+        process pool otherwise — one pack per pool task, results merged
+        in request order like every other path.  Event-stream consumers
+        see the same cell lifecycle as per-cell execution; all cells of
+        one pack start together.
+        """
+        from repro.experiments.batchrun import _execute_pack, pack_cells
+
+        packs = pack_cells(pending, self.batch_cells)
+        done = cached
+        finished_live = 0
+
+        def land(pack, payload):
+            nonlocal done, finished_live
+            for cell, (result, resumed) in zip(pack, payload):
+                self._store(cell, result, resumed)
+                done += 1
+                finished_live += 1
+                self._emit("cell-done", cell=cell.label, resumed=resumed,
+                           **self._progress(done, cached, 0, total,
+                                            started_at, finished_live))
+
+        if self.jobs <= 1 or len(packs) == 1:
+            for pack in packs:
+                for cell in pack:
+                    self._emit("cell-start", cell=cell.label,
+                               **self._progress(done, cached, len(pack),
+                                                total, started_at,
+                                                finished_live))
+                land(pack, _execute_pack(pack, self.scale))
+            return
+        with ProcessPoolExecutor(max_workers=min(self.jobs,
+                                                 len(packs))) as pool:
+            futures = {}
+            for pack in packs:
+                futures[pool.submit(_execute_pack, pack,
+                                    self.scale)] = pack
+                for cell in pack:
+                    self._emit("cell-start", cell=cell.label,
+                               **self._progress(done, cached, len(pack),
+                                                total, started_at,
+                                                finished_live))
+            outstanding = set(futures)
+            while outstanding:
+                finished, outstanding = wait(outstanding,
+                                             return_when=FIRST_COMPLETED)
+                for future in finished:
+                    land(futures[future], future.result())
 
     def _run_pool(self, pending, cached, total, started_at):
         done = cached

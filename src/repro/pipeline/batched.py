@@ -1,0 +1,237 @@
+"""Structure-of-arrays batched core lane (``REPRO_CORE=batched``).
+
+The fast core (:mod:`repro.pipeline.fastpath`) amortizes the Python
+interpreter across *cycles* by proving quiescent stretches and jumping
+them.  This module amortizes it across *sweep cells*: a
+:class:`BatchCore` owns many independent processors (one per cell) and
+advances them through their run windows in lockstep, mirroring the
+per-cell × per-thread machine state that gates forward progress —
+occupancy counters, partition-limit registers, fetch-block and
+event-heap head cycles — into numpy structure-of-arrays and screening
+the whole pack for quiescence with vectorized ops each scheduling
+round.
+
+The byte-identity argument (docs/INTERNALS.md section 1c) is strict
+delegation: the SoA arrays are *read-only mirrors* used for scheduling
+decisions, never authoritative state.  Cells the screen nominates are
+confirmed by the same :func:`~repro.pipeline.fastpath.quiescent_horizon`
+proof and jumped by the same
+:func:`~repro.pipeline.fastpath.apply_skip` replay the fast core uses;
+dense cells step through :func:`step_window`, whose loop body is the
+fast core's loop body with a cooperative iteration budget bolted on.
+Crucially a skip is never split at a scheduling boundary: the horizon
+is always proven against the cell's true window end, so the
+``on_quiesce(cycle, skipped)`` call sequence every policy observes is
+identical to a solo fast-core run.
+
+numpy is imported guarded: stdlib-only paths (the service daemon,
+``repro lint``) never touch this module, and importing it without numpy
+still succeeds — only *constructing* a :class:`BatchCore` requires the
+dependency.  Packing itself lives one layer up in
+:mod:`repro.experiments.batchrun`.
+"""
+
+from repro.pipeline.fastpath import apply_skip, quiescent_horizon
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container ships numpy
+    _np = None
+
+__all__ = ["HAVE_NUMPY", "BatchCore", "step_window"]
+
+#: Whether the optional numpy dependency is importable; the batched lane
+#: refuses to construct without it, everything else ignores it.
+HAVE_NUMPY = _np is not None
+
+#: Sentinel cycle for "no event pending" in the mirrored heap-head
+#: columns: far beyond any real horizon.
+_NEVER = 1 << 62
+
+
+def step_window(proc, end, budget):
+    """Advance ``proc`` toward cycle ``end`` exactly like
+    ``SMTProcessor._run_fast``, yielding control after ``budget`` loop
+    iterations so a pack scheduler can interleave many cells.
+
+    The loop body — quiescence pre-gate, horizon proof, bulk skip,
+    per-stage guarded calls — is the fast core's, verbatim; only the
+    iteration budget differs, and yielding between iterations cannot be
+    observed by the machine (each iteration re-reads all state it
+    uses).  Skips are proven against the true window ``end``, never a
+    scheduling boundary, so the policy's ``on_quiesce`` partitioning
+    matches a solo run.  Returns the number of iterations spent.
+    """
+    policy = proc.policy
+    stats = proc.stats
+    ready = proc._ready
+    completions = proc._completions
+    detections = proc._detections
+    spent = 0
+    while proc.cycle < end and spent < budget:
+        spent += 1
+        cycle = proc.cycle
+        if not ready \
+                and (not completions or completions[0][0] > cycle) \
+                and (not detections or detections[0][0] > cycle):
+            horizon = quiescent_horizon(proc, end)
+            if horizon is not None:
+                apply_skip(proc, horizon)
+                continue
+        if completions and completions[0][0] <= cycle:
+            proc._do_completions(cycle)
+        if detections and detections[0][0] <= cycle:
+            proc._do_detections(cycle)
+        if proc.rob_total:
+            proc._do_commit()
+        if ready:
+            proc._do_issue(cycle)
+        if proc.ifq_total:
+            proc._do_dispatch()
+        proc._do_fetch(cycle)
+        policy.on_cycle(proc)
+        proc.cycle = cycle + 1
+        stats.cycles += 1
+    return spent
+
+
+class BatchCore:
+    """Lockstep scheduler over many independent processors.
+
+    Parameters
+    ----------
+    procs:
+        The pack's :class:`~repro.pipeline.processor.SMTProcessor`
+        instances.  They must be plain simulation processors (no
+        :class:`~repro.pipeline.profile.CoreProfile` attached — profiled
+        runs go through the single-cell cores).
+    budget:
+        Loop iterations granted to one dense cell per scheduling round.
+        Smaller values tighten the lockstep (cells stay closer together
+        in time, so shared replay tapes trim sooner); larger values
+        amortize the scheduling overhead.  Either way results are
+        byte-identical — the budget only moves yield points.
+    """
+
+    def __init__(self, procs, budget=8192):
+        if _np is None:
+            raise RuntimeError(
+                "the batched core lane requires numpy; install it or use "
+                "REPRO_CORE=fast")
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        self.procs = list(procs)
+        self.budget = budget
+        for proc in self.procs:
+            if proc.profile is not None:
+                raise ValueError(
+                    "BatchCore cannot step a profiled processor; profile "
+                    "single cells through repro.experiments.profiling")
+        cells = len(self.procs)
+        width = max((proc.num_threads for proc in self.procs), default=1)
+        # Structure-of-arrays mirrors, [cell] and [cell, thread].  Unused
+        # thread slots are padded so they read as permanently ineligible.
+        self._cycle = _np.zeros(cells, dtype=_np.int64)
+        self._ready_empty = _np.zeros(cells, dtype=bool)
+        self._ifq_space = _np.zeros(cells, dtype=bool)
+        self._event_head = _np.full(cells, _NEVER, dtype=_np.int64)
+        self._enabled = _np.zeros((cells, width), dtype=bool)
+        self._locked = _np.zeros((cells, width), dtype=bool)
+        self._blocked_until = _np.zeros((cells, width), dtype=_np.int64)
+        self._occ_ren = _np.zeros((cells, width), dtype=_np.int64)
+        self._occ_iq = _np.zeros((cells, width), dtype=_np.int64)
+        self._occ_rob = _np.zeros((cells, width), dtype=_np.int64)
+        self._lim_ren = _np.zeros((cells, width), dtype=_np.int64)
+        self._lim_iq = _np.zeros((cells, width), dtype=_np.int64)
+        self._lim_rob = _np.zeros((cells, width), dtype=_np.int64)
+
+    def _refresh(self, active):
+        """Mirror the scheduling-relevant machine state of the active
+        cells into the SoA arrays.  Mirrors are exact at screen time:
+        cells only mutate while being stepped, after the screen."""
+        for index in active:
+            proc = self.procs[index]
+            self._cycle[index] = proc.cycle
+            self._ready_empty[index] = not proc._ready
+            self._ifq_space[index] = proc.ifq_total < proc.config.ifq_size
+            head = _NEVER
+            if proc._completions:
+                head = proc._completions[0][0]
+            if proc._detections and proc._detections[0][0] < head:
+                head = proc._detections[0][0]
+            self._event_head[index] = head
+            enabled = proc.enabled
+            partitions = proc.partitions
+            limit_ren = partitions.limit_int_rename
+            limit_iq = partitions.limit_int_iq
+            limit_rob = partitions.limit_rob
+            for thread in proc.threads:
+                tid = thread.tid
+                self._enabled[index, tid] = tid in enabled
+                self._locked[index, tid] = thread.policy_locked
+                self._blocked_until[index, tid] = thread.fetch_blocked_until
+                self._occ_ren[index, tid] = thread.ren_int
+                self._occ_iq[index, tid] = thread.iq_int
+                self._occ_rob[index, tid] = len(thread.rob)
+                self._lim_ren[index, tid] = limit_ren[tid]
+                self._lim_iq[index, tid] = limit_iq[tid]
+                self._lim_rob[index, tid] = limit_rob[tid]
+
+    def _screen(self):
+        """Vectorized quiescence candidates across the whole pack.
+
+        The mask mirrors the *cheap necessary* conditions of the
+        quiescence proof — empty ready heap, no event-heap head due, no
+        fetch-eligible thread — over every cell at once; the conditions
+        it cannot see from the mirrors (a done ROB head, a dispatchable
+        IFQ head, the policy's wake cycle) are confirmed per candidate
+        by :func:`quiescent_horizon` before any skip is applied, so a
+        false positive costs one Python call and a false negative is
+        impossible to act on (non-candidates go through the stepper,
+        whose own pre-gate re-checks everything)."""
+        cycle = self._cycle[:, None]
+        ineligible = (~self._enabled
+                      | self._locked
+                      | (cycle < self._blocked_until)
+                      | (self._occ_ren >= self._lim_ren)
+                      | (self._occ_iq >= self._lim_iq)
+                      | (self._occ_rob >= self._lim_rob))
+        fetch_idle = (~self._ifq_space) | ineligible.all(axis=1)
+        return (self._ready_empty
+                & (self._event_head > self._cycle)
+                & fetch_idle)
+
+    def advance(self, windows, on_round=None):
+        """Advance each ``(index, end)`` window to completion, lockstep.
+
+        Each scheduling round refreshes the SoA mirrors, screens the
+        pack, jumps every confirmed-quiescent cell to its horizon in one
+        :func:`apply_skip`, and grants each still-active cell one budget
+        of dense stepping.  ``on_round`` (if given) runs between rounds
+        — the pack layer uses it to trim shared replay tapes to the
+        slowest cell's frontier.
+        """
+        ends = {}
+        for index, end in windows:
+            proc = self.procs[index]
+            if end > proc.cycle:
+                ends[index] = end
+        active = sorted(ends)
+        while active:
+            self._refresh(active)
+            candidate = self._screen()
+            still = []
+            for index in active:
+                proc = self.procs[index]
+                end = ends[index]
+                if candidate[index]:
+                    horizon = quiescent_horizon(proc, end)
+                    if horizon is not None:
+                        apply_skip(proc, horizon)
+                if proc.cycle < end:
+                    step_window(proc, end, self.budget)
+                if proc.cycle < end:
+                    still.append(index)
+            active = still
+            if on_round is not None:
+                on_round()

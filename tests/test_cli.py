@@ -178,11 +178,34 @@ class TestCoreEnvValidation:
         assert excinfo.value.code == 2
         assert "REPRO_CORE" in capsys.readouterr().err
 
+    def test_sweep_rejects_bad_core(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CORE", "turbo")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--workloads", "art-mcf", "--policies",
+                  "ICOUNT", "--scale", "smoke", "--quiet",
+                  "--cache-dir", str(tmp_path / "cache")])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "REPRO_CORE" in err and "turbo" in err
+
     def test_reference_core_accepted(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_CORE", "reference")
         main(["run", "--workload", "art-mcf", "--policy", "ICOUNT",
               "--scale", "smoke", "--epochs", "2"])
         assert "weighted IPC" in capsys.readouterr().out
+
+    def test_profile_help_lists_core_names(self, capsys):
+        """``repro profile --help`` is where a user discovers the valid
+        REPRO_CORE values, so every core name must appear there."""
+        from repro.pipeline.fastpath import CORE_MODES
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["profile", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for core in CORE_MODES:
+            assert core in out
 
 
 class TestSweepSupervisionCLI:
@@ -257,6 +280,60 @@ class TestSweepSupervisionCLI:
         (dropped,) = doc["quarantined"]
         assert dropped["policy"] == "ICOUNT"
         assert dropped["attempts"] == 2
+
+
+class TestBatchedSweepCLI:
+    """The ``sweep --batch-cells`` surface: validation of the documented
+    incompatibilities, and an end-to-end packed sweep whose output is
+    byte-identical to the serial engine's."""
+
+    def test_batch_cells_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--workloads", "art-mcf", "--scale", "smoke",
+                  "--batch-cells", "0"])
+        assert excinfo.value.code == 2
+        assert "--batch-cells" in capsys.readouterr().err
+
+    def test_batch_cells_rejects_resume_dir(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--workloads", "art-mcf", "--scale", "smoke",
+                  "--batch-cells", "4",
+                  "--resume-dir", str(tmp_path / "resume")])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--batch-cells" in err and "--resume-dir" in err
+
+    def test_batch_cells_rejects_cell_timeout(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--workloads", "art-mcf", "--scale", "smoke",
+                  "--batch-cells", "4", "--cell-timeout", "10"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--batch-cells" in err and "--cell-timeout" in err
+
+    def test_worker_batch_cells_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["worker", "--server", "http://127.0.0.1:1",
+                  "--batch-cells", "0"])
+        assert excinfo.value.code == 2
+        assert "--batch-cells" in capsys.readouterr().err
+
+    def test_batched_sweep_matches_serial(self, capsys, tmp_path):
+        import json as _json
+
+        outputs = {}
+        for label, extra in (("serial", []),
+                             ("batched", ["--batch-cells", "8"])):
+            out_path = tmp_path / (label + ".json")
+            code = main(["sweep", "--workloads", "art-mcf", "art-twolf",
+                         "--policies", "ICOUNT", "FLUSH",
+                         "--scale", "smoke", "--jobs", "1", "--quiet",
+                         "--no-cache", "--out", str(out_path)] + extra)
+            assert code in (0, None)
+            outputs[label] = out_path.read_text()
+        assert outputs["batched"] == outputs["serial"]
+        doc = _json.loads(outputs["batched"])
+        assert len(doc["cells"]) == 4
 
 
 class TestChaosCLI:

@@ -35,7 +35,8 @@ ROOT = Path(__file__).resolve().parent.parent
 # -- fenced-block extraction ------------------------------------------------
 
 DOC_FILES = ("README.md", "EXPERIMENTS.md", "docs/PARALLEL.md",
-             "docs/RELIABILITY.md", "docs/ANALYSIS.md", "docs/SERVICE.md")
+             "docs/RELIABILITY.md", "docs/ANALYSIS.md", "docs/SERVICE.md",
+             "docs/PERFORMANCE.md")
 
 Snippet = namedtuple("Snippet", "name lineno info body")
 
@@ -75,7 +76,7 @@ class TestDocumentsExist:
     @pytest.mark.parametrize("name", [
         "README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/INTERNALS.md",
         "docs/PARALLEL.md", "docs/RELIABILITY.md", "docs/WORKLOADS.md",
-        "docs/ANALYSIS.md", "docs/SERVICE.md",
+        "docs/ANALYSIS.md", "docs/SERVICE.md", "docs/PERFORMANCE.md",
     ])
     def test_document_present_and_substantial(self, name):
         path = ROOT / name
@@ -170,6 +171,15 @@ class TestEventTableDrift:
 
     def test_the_two_tables_do_not_overlap(self):
         assert not set(SWEEP_EVENTS) & set(SERVICE_EVENTS)
+
+    def test_performance_md_lists_exactly_the_core_lanes(self):
+        """docs/PERFORMANCE.md's lane table is the canonical statement
+        of which run-loop cores exist; it must match CORE_MODES exactly,
+        in order, so a new core cannot land undocumented."""
+        from repro.pipeline.fastpath import CORE_MODES
+
+        names = self._sentinel_names("docs/PERFORMANCE.md", "core-lanes")
+        assert names == list(CORE_MODES)
 
 
 # -- executable documentation ----------------------------------------------
