@@ -1,0 +1,524 @@
+"""Async-safety pass: event-loop hazards in the service tier (rules
+AS301–AS304, see docs/ANALYSIS.md).
+
+The ``repro serve`` daemon's correctness argument is "one event loop
+owns all state, so every mutation happens between awaits".  That
+argument has three statically checkable failure modes, each a rule:
+
+* **AS301** — a *blocking* call (``time.sleep``, synchronous
+  ``urllib``/``socket``/``subprocess``, builtin ``open``) reachable
+  from a coroutine via the intra-module call graph
+  (:mod:`.callgraph`): it stalls every connection, lease timer and
+  event stream at once.
+* **AS302** — a fire-and-forget task: the handle returned by
+  ``asyncio.create_task`` / ``ensure_future`` is neither stored,
+  awaited, nor cancelled, so exceptions vanish and drain can never
+  wait for it.  (``server.py``'s ``self._tick_task`` — stored, then
+  ``.cancel()``-ed on drain — is the sanctioned shape.)
+* **AS303** — a torn critical section: guarded scheduler state (the
+  roots declared by a ``# repro: guarded-state[...]`` marker) is
+  mutated both before and after an ``await`` in the same coroutine
+  without holding an ``asyncio.Lock``; another handler can observe the
+  half-applied transition at the yield point.
+
+Sanctioned hazards are waived per line and per rule, mirroring the
+ND-marker scheme — but an async waiver additionally **must carry a
+justification** after the bracket::
+
+    with open(path, "a") as h:  # repro: allow-async[AS301] bounded local append
+
+A bare ``allow-async[...]`` marker is itself a finding (**AS304**), and
+AS304 cannot be waived — writing the justification is always cheaper.
+
+The analysis is deliberately intra-module and intra-procedural where it
+must be (AS303 looks at one coroutine body at a time; cross-procedure
+mutation helpers are not chased), and under-approximating everywhere
+else: every finding comes with a concrete witness, so the pass stays
+actionable on a tree this size.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+
+from repro.analysis.lint.callgraph import (
+    CallGraph,
+    FunctionInfo,
+    build_callgraph,
+)
+from repro.analysis.lint.findings import Finding, allowed_codes
+
+__all__ = ["scan_file", "scan_source", "scan_tree"]
+
+#: ``# repro: guarded-state[tasks, jobs, ...]`` — declares the mutation
+#: roots AS303 protects (``self.<root>`` attributes and bare local
+#: names).  Without a marker the module opts out of AS303.
+GUARDED_RE = re.compile(r"#\s*repro:\s*guarded-state\[([^\]]*)\]")
+
+#: An ``allow-async[...]`` marker; everything after the closing bracket
+#: must be a justification (AS304).
+ASYNC_ALLOW_RE = re.compile(r"#\s*repro:\s*allow-async\[[^\]]*\]")
+
+#: Dotted call chains that block the event loop.
+_BLOCKING_CALLS = {
+    "time.sleep": "time.sleep()",
+    "urllib.request.urlopen": "urllib.request.urlopen()",
+    "socket.create_connection": "socket.create_connection()",
+    "socket.socket": "socket.socket()",
+    "http.client.HTTPConnection": "http.client.HTTPConnection()",
+    "http.client.HTTPSConnection": "http.client.HTTPSConnection()",
+}
+
+#: Any ``subprocess.*`` call blocks (run/call/check_*/Popen().wait()).
+_BLOCKING_PREFIXES = ("subprocess.",)
+
+#: ``from mod import name`` bindings that stay blocking as bare names.
+_BLOCKING_FROM = {
+    ("time", "sleep"), ("urllib.request", "urlopen"),
+    ("socket", "create_connection"), ("subprocess", "run"),
+    ("subprocess", "call"), ("subprocess", "check_call"),
+    ("subprocess", "check_output"), ("subprocess", "Popen"),
+}
+
+#: Builtins that hit the filesystem synchronously.
+_BLOCKING_BUILTINS = {"open": "open()"}
+
+#: Call-chain tails that spawn a task whose handle must not be dropped.
+_SPAWN_TAILS = ("create_task", "ensure_future")
+
+#: Method names that mutate their receiver in place (AS303).
+_MUTATORS = frozenset({
+    "append", "appendleft", "add", "discard", "remove", "pop", "popleft",
+    "clear", "update", "extend", "insert", "setdefault", "popitem",
+})
+
+#: Name fragments that make an ``async with`` context a lock.
+_LOCK_HINTS = ("lock", "sem", "mutex")
+
+
+def _attr_chain(node: ast.expr) -> list[str]:
+    """``a.b.c`` -> ["a", "b", "c"]; empty when not a pure name chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return []
+
+
+def _guard_root(node: ast.expr) -> str | None:
+    """The guarded-state root of an assignment target / receiver:
+    ``self.tasks[key]`` -> ``tasks``; ``task.state`` -> ``task``."""
+    parts: list[str] = []
+    while True:
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Name):
+            parts.append(node.id)
+            break
+        else:
+            return None
+    parts.reverse()
+    if parts[0] == "self":
+        return parts[1] if len(parts) > 1 else None
+    return parts[0]
+
+
+def _own_body_walk(node: ast.AST) -> list[ast.AST]:
+    """Every descendant of ``node`` that belongs to its own body — the
+    walk does not descend into nested ``def`` / ``async def`` (they are
+    separate call-graph functions) or ``lambda`` bodies."""
+    found: list[ast.AST] = []
+    stack: list[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.Lambda)):
+            continue
+        found.append(child)
+        stack.extend(ast.iter_child_nodes(child))
+    return found
+
+
+@dataclass
+class _FlowState:
+    """AS303 dataflow: what the current fall-through path has seen."""
+
+    pending: bool = False                     # guarded mutation seen
+    open_awaits: dict[int, ast.Await] = field(default_factory=dict)
+
+    def copy(self) -> "_FlowState":
+        return _FlowState(self.pending, dict(self.open_awaits))
+
+    def merge(self, other: "_FlowState | None") -> "_FlowState":
+        if other is None:
+            return self
+        merged = dict(self.open_awaits)
+        merged.update(other.open_awaits)
+        return _FlowState(self.pending or other.pending, merged)
+
+
+class _ModuleScan:
+    """One file's worth of async-safety analysis."""
+
+    def __init__(self, rel: str, source: str) -> None:
+        self.rel = rel
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=rel)
+        self.graph: CallGraph = build_callgraph(rel, source)
+        self.findings: list[Finding] = []
+        self.guarded = self._guarded_roots()
+        self.blocking_aliases = self._blocking_aliases()
+
+    # -- plumbing --------------------------------------------------------
+
+    def _line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def _report(self, code: str, lineno: int, message: str,
+                waivable: bool = True) -> None:
+        if waivable and code in allowed_codes(self._line(lineno)):
+            return
+        self.findings.append(Finding(rule=code, path=self.rel, line=lineno,
+                                     message=message))
+
+    def _guarded_roots(self) -> frozenset[str]:
+        roots: set[str] = set()
+        for line in self.lines:
+            match = GUARDED_RE.search(line)
+            if match is not None:
+                roots.update(part.strip()
+                             for part in match.group(1).split(",")
+                             if part.strip())
+        return frozenset(roots)
+
+    def _blocking_aliases(self) -> dict[str, str]:
+        """Bare names bound by ``from mod import name`` to a blocking
+        callable, anywhere in the module."""
+        aliases: dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.ImportFrom) or node.module is None:
+                continue
+            for alias in node.names:
+                if (node.module, alias.name) in _BLOCKING_FROM:
+                    bound = alias.asname or alias.name
+                    aliases[bound] = "%s.%s()" % (node.module, alias.name)
+        return aliases
+
+    # -- AS301: blocking calls on async paths ---------------------------
+
+    def _blocking_label(self, node: ast.Call) -> str | None:
+        chain = _attr_chain(node.func)
+        if not chain:
+            return None
+        dotted = ".".join(chain)
+        if dotted in _BLOCKING_CALLS:
+            return _BLOCKING_CALLS[dotted]
+        if any(dotted.startswith(prefix) for prefix in _BLOCKING_PREFIXES):
+            return "%s()" % dotted
+        if len(chain) == 1:
+            name = chain[0]
+            if name in _BLOCKING_BUILTINS:
+                return _BLOCKING_BUILTINS[name]
+            if name in self.blocking_aliases:
+                return self.blocking_aliases[name]
+        return None
+
+    def _check_blocking(self) -> None:
+        paths = self.graph.async_paths()
+        for qualname in sorted(paths):
+            info = self.graph.functions[qualname]
+            path = paths[qualname]
+            for node in _own_body_walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                label = self._blocking_label(node)
+                if label is None:
+                    continue
+                if len(path) == 1:
+                    where = "inside coroutine `%s`" % qualname
+                else:
+                    where = ("reachable from coroutine `%s` (via %s)"
+                             % (path[0], " -> ".join(path)))
+                self._report(
+                    "AS301", node.lineno,
+                    "blocking call `%s` %s blocks the whole event loop; "
+                    "move it off-loop or waive it with `# repro: "
+                    "allow-async[AS301] <justification>`" % (label, where))
+
+    # -- AS302: fire-and-forget tasks -----------------------------------
+
+    @staticmethod
+    def _spawn_call(node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        chain = _attr_chain(node.func)
+        return len(chain) >= 2 and chain[-1] in _SPAWN_TAILS
+
+    def _attr_reads(self) -> frozenset[str]:
+        """Attribute names read anywhere in the module (``self.X`` used
+        as a value — awaited, cancelled, even just truth-tested)."""
+        reads: set[str] = set()
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Attribute) \
+                    and isinstance(node.ctx, ast.Load):
+                reads.add(node.attr)
+        return frozenset(reads)
+
+    def _check_spawns(self) -> None:
+        attr_reads = self._attr_reads()
+        for qualname in sorted(self.graph.functions):
+            info = self.graph.functions[qualname]
+            body_nodes = _own_body_walk(info.node)
+            local_reads = {node.id for node in body_nodes
+                           if isinstance(node, ast.Name)
+                           and isinstance(node.ctx, ast.Load)}
+            for node in body_nodes:
+                if isinstance(node, ast.Expr) \
+                        and self._spawn_call(node.value):
+                    call = node.value
+                    assert isinstance(call, ast.Call)
+                    self._report(
+                        "AS302", call.lineno,
+                        "task handle from `%s(...)` is dropped: the task "
+                        "cannot be awaited or cancelled on drain, and its "
+                        "exceptions vanish" % ".".join(
+                            _attr_chain(call.func)))
+                elif isinstance(node, ast.Assign) \
+                        and self._spawn_call(node.value):
+                    call = node.value
+                    assert isinstance(call, ast.Call)
+                    if len(node.targets) != 1:
+                        continue
+                    target = node.targets[0]
+                    orphaned = False
+                    name = ""
+                    if isinstance(target, ast.Name):
+                        name = target.id
+                        orphaned = target.id not in local_reads
+                    elif isinstance(target, ast.Attribute):
+                        name = target.attr
+                        orphaned = target.attr not in attr_reads
+                    if orphaned:
+                        self._report(
+                            "AS302", call.lineno,
+                            "task handle stored in `%s` is never read "
+                            "again (not awaited, cancelled, or collected)"
+                            % name)
+            # spawn calls in any other position (argument, return value,
+            # collection item) hand the handle to someone: not orphaned
+
+    # -- AS303: torn critical sections ----------------------------------
+
+    def _is_guarded_mutation(self, stmt: ast.stmt) -> bool:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        elif isinstance(stmt, ast.Delete):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            func = stmt.value.func
+            if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+                root = _guard_root(func.value)
+                return root is not None and root in self.guarded
+            return False
+        for target in targets:
+            if isinstance(target, ast.Tuple):
+                inner: list[ast.expr] = list(target.elts)
+            else:
+                inner = [target]
+            for element in inner:
+                root = _guard_root(element)
+                if root is not None and root in self.guarded:
+                    return True
+        return False
+
+    @staticmethod
+    def _header_exprs(stmt: ast.stmt) -> list[ast.expr]:
+        """Expressions evaluated before a compound statement's body."""
+        if isinstance(stmt, ast.If):
+            return [stmt.test]
+        if isinstance(stmt, ast.While):
+            return [stmt.test]
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return [stmt.iter]
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return [item.context_expr for item in stmt.items]
+        return []
+
+    @staticmethod
+    def _expr_awaits(exprs: list[ast.expr]) -> list[ast.Await]:
+        awaits: list[ast.Await] = []
+        for expr in exprs:
+            for node in ast.walk(expr):
+                if isinstance(node, ast.Await):
+                    awaits.append(node)
+        return awaits
+
+    @staticmethod
+    def _is_lock_context(stmt: ast.AsyncWith) -> bool:
+        for item in stmt.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Call):
+                expr = expr.func
+            for part in _attr_chain(expr):
+                lowered = part.lower()
+                if any(hint in lowered for hint in _LOCK_HINTS):
+                    return True
+        return False
+
+    def _flag_open_awaits(self, state: _FlowState,
+                          flagged: dict[int, str]) -> None:
+        for lineno in state.open_awaits:
+            flagged.setdefault(
+                lineno,
+                "guarded state (%s) is mutated on both sides of this "
+                "`await` without holding an asyncio.Lock: another task "
+                "can observe the half-applied transition at the yield "
+                "point" % ", ".join(sorted(self.guarded)))
+        state.open_awaits.clear()
+
+    def _flow_stmt(self, stmt: ast.stmt, state: _FlowState,
+                   flagged: dict[int, str],
+                   locked: bool) -> _FlowState | None:
+        """Advance the dataflow over one statement; ``None`` when the
+        fall-through path terminates."""
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return state
+        simple_exprs: list[ast.expr] = []
+        if isinstance(stmt, (ast.Expr, ast.Assign, ast.AugAssign,
+                             ast.AnnAssign, ast.Return, ast.Assert,
+                             ast.Raise)):
+            simple_exprs = [child for child in ast.iter_child_nodes(stmt)
+                            if isinstance(child, ast.expr)]
+        for awaited in self._expr_awaits(simple_exprs
+                                         + self._header_exprs(stmt)):
+            if state.pending and not locked:
+                state.open_awaits[awaited.lineno] = awaited
+        if self._is_guarded_mutation(stmt):
+            self._flag_open_awaits(state, flagged)
+            state.pending = True
+        if isinstance(stmt, (ast.Return, ast.Raise, ast.Break,
+                             ast.Continue)):
+            return None
+        if isinstance(stmt, ast.If):
+            then = self._flow_body(stmt.body, state.copy(), flagged, locked)
+            other = self._flow_body(stmt.orelse, state.copy(), flagged,
+                                    locked)
+            if then is None and other is None:
+                return None
+            if then is None:
+                return other
+            return then.merge(other)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            # Two passes over the body so a loop-carried section —
+            # mutate at the bottom, await at the top of the next
+            # iteration — is observed.
+            once = self._flow_body(stmt.body, state.copy(), flagged, locked)
+            merged = state.merge(once)
+            twice = self._flow_body(stmt.body, merged.copy(), flagged,
+                                    locked)
+            after = merged.merge(twice)
+            return after if stmt.orelse == [] else \
+                after.merge(self._flow_body(stmt.orelse, after.copy(),
+                                            flagged, locked))
+        if isinstance(stmt, ast.AsyncWith):
+            inner_locked = locked or self._is_lock_context(stmt)
+            return self._flow_body(stmt.body, state, flagged, inner_locked)
+        if isinstance(stmt, ast.With):
+            return self._flow_body(stmt.body, state, flagged, locked)
+        if isinstance(stmt, ast.Try):
+            after_body = self._flow_body(stmt.body, state.copy(), flagged,
+                                         locked)
+            merged = state.merge(after_body)
+            for handler in stmt.handlers:
+                merged = merged.merge(self._flow_body(
+                    handler.body, merged.copy(), flagged, locked))
+            merged = merged.merge(self._flow_body(
+                stmt.orelse, merged.copy(), flagged, locked))
+            final = self._flow_body(stmt.finalbody, merged, flagged, locked)
+            return final if final is not None else merged
+        return state
+
+    def _flow_body(self, stmts: list[ast.stmt], state: _FlowState,
+                   flagged: dict[int, str],
+                   locked: bool) -> _FlowState | None:
+        current: _FlowState | None = state
+        for stmt in stmts:
+            if current is None:
+                return None
+            current = self._flow_stmt(stmt, current, flagged, locked)
+        return current
+
+    def _check_torn_sections(self) -> None:
+        if not self.guarded:
+            return
+        for qualname in sorted(self.graph.functions):
+            info = self.graph.functions[qualname]
+            if not info.is_async:
+                continue
+            flagged: dict[int, str] = {}
+            self._flow_body(list(info.node.body), _FlowState(), flagged,
+                            locked=False)
+            for lineno in sorted(flagged):
+                self._report("AS303", lineno,
+                             "in coroutine `%s`: %s"
+                             % (qualname, flagged[lineno]))
+
+    # -- AS304: waivers must justify themselves -------------------------
+
+    def _check_waivers(self) -> None:
+        for lineno, line in enumerate(self.lines, 1):
+            match = ASYNC_ALLOW_RE.search(line)
+            if match is None:
+                continue
+            justification = line[match.end():].strip()
+            if not justification:
+                self._report(
+                    "AS304", lineno,
+                    "async waiver without a justification: follow the "
+                    "bracket with why this hazard is sound, e.g. "
+                    "`# repro: allow-async[AS301] bounded local append`",
+                    waivable=False)
+
+    # -- entry -----------------------------------------------------------
+
+    def run(self) -> list[Finding]:
+        self._check_blocking()
+        self._check_spawns()
+        self._check_torn_sections()
+        self._check_waivers()
+        self.findings.sort(key=lambda f: (f.line, f.rule, f.message))
+        return self.findings
+
+
+def scan_source(rel: str, source: str) -> list[Finding]:
+    """Async-safety findings for one module's source text."""
+    return _ModuleScan(rel, source).run()
+
+
+def scan_file(root: str, rel: str) -> list[Finding]:
+    with open(os.path.join(root, rel), encoding="utf-8") as handle:
+        return scan_source(rel, handle.read())
+
+
+def scan_tree(root: str, rels: tuple[str, ...]) -> list[Finding]:
+    """Scan a set of package-relative files under ``root``."""
+    findings: list[Finding] = []
+    for rel in sorted(rels):
+        findings.extend(scan_file(root, rel))
+    return findings

@@ -1,0 +1,225 @@
+"""Intra-module function/coroutine call graph (stdlib ``ast`` only).
+
+The substrate of the async-safety pass: every ``def`` / ``async def`` in
+one module becomes a node, and every call whose target resolves *inside
+the same module* becomes an edge.  Resolution is deliberately
+conservative and purely syntactic, in the same spirit as
+:mod:`.importgraph` — nothing is imported or executed:
+
+* ``name(...)`` resolves to a module-level function (or, from inside a
+  nested function, to a sibling/enclosing nested function) of that name;
+* ``self.m(...)`` / ``cls.m(...)`` resolve to a method of the enclosing
+  class, when one is defined;
+* ``ClassName.m(...)`` resolves to that class's method, and a bare
+  ``ClassName(...)`` constructor call to ``ClassName.__init__``;
+* anything else (attribute calls on arbitrary objects, calls through
+  containers, imported callables) is dropped — cross-module effects are
+  the import graph's job, not this one's.
+
+Dropped edges make the graph an *under*-approximation of "can call",
+which is the right direction for the async-safety pass: a blocking call
+is flagged only when a concrete witness path from a coroutine exists,
+so every AS301 finding is actionable.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["CallGraph", "CallSite", "FunctionInfo", "build_callgraph"]
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One ``def`` / ``async def`` in the module."""
+
+    qualname: str            # "Class.method", "func" or "outer.inner"
+    name: str
+    lineno: int
+    is_async: bool
+    class_name: str | None   # enclosing class, when a method
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved intra-module call."""
+
+    caller: str              # qualname of the calling function
+    callee: str              # qualname of the called function
+    lineno: int
+
+
+def _attr_chain(node: ast.expr) -> list[str]:
+    """``a.b.c`` -> ["a", "b", "c"]; empty when not a pure name chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return []
+
+
+class CallGraph:
+    """Function-level call graph of one module."""
+
+    def __init__(self, rel: str, functions: dict[str, FunctionInfo],
+                 edges: tuple[CallSite, ...]) -> None:
+        self.rel = rel
+        self.functions = functions
+        self.edges = edges
+        self._out: dict[str, list[CallSite]] = {}
+        for edge in edges:
+            self._out.setdefault(edge.caller, []).append(edge)
+
+    def calls_from(self, qualname: str) -> tuple[CallSite, ...]:
+        return tuple(self._out.get(qualname, ()))
+
+    def async_roots(self) -> tuple[str, ...]:
+        """Every coroutine (``async def``) in the module, sorted."""
+        return tuple(sorted(name for name, info in self.functions.items()
+                            if info.is_async))
+
+    def async_paths(self) -> dict[str, tuple[str, ...]]:
+        """Witness call paths from coroutines.
+
+        Maps every function reachable from some ``async def`` (the
+        coroutines themselves included) to one shortest call path
+        ``(root, ..., function)`` proving the reachability.  BFS from
+        all async roots at once, visiting in sorted order, so the
+        witness chosen for a function is deterministic.
+        """
+        paths: dict[str, tuple[str, ...]] = {}
+        queue: deque[str] = deque()
+        for root in self.async_roots():
+            paths[root] = (root,)
+            queue.append(root)
+        while queue:
+            current = queue.popleft()
+            callees = sorted({site.callee
+                              for site in self.calls_from(current)})
+            for callee in callees:
+                if callee in paths or callee not in self.functions:
+                    continue
+                paths[callee] = paths[current] + (callee,)
+                queue.append(callee)
+        return paths
+
+
+class _Collector(ast.NodeVisitor):
+    """Walks one module, recording functions and resolved call edges."""
+
+    def __init__(self, rel: str) -> None:
+        self.rel = rel
+        self.functions: dict[str, FunctionInfo] = {}
+        self.edges: list[CallSite] = []
+        self._class_stack: list[str] = []
+        self._func_stack: list[str] = []
+        #: names of every method, per class (for self./Class. resolution)
+        self._methods: dict[str, set[str]] = {}
+        #: module-level function names
+        self._module_funcs: set[str] = set()
+        self._deferred: list[tuple[str, ast.Call]] = []
+
+    # -- pass 1: collect definitions ------------------------------------
+
+    def _qualify(self, name: str) -> str:
+        if self._func_stack:
+            return self._func_stack[-1] + "." + name
+        if self._class_stack:
+            return self._class_stack[-1] + "." + name
+        return name
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self._class_stack or self._func_stack:
+            return  # nested classes: out of scope for this layer
+        self._class_stack.append(node.name)
+        self._methods[node.name] = set()
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _visit_func(self, node: ast.FunctionDef | ast.AsyncFunctionDef,
+                    is_async: bool) -> None:
+        qualname = self._qualify(node.name)
+        if self._class_stack and not self._func_stack:
+            self._methods[self._class_stack[-1]].add(node.name)
+        elif not self._func_stack:
+            self._module_funcs.add(node.name)
+        self.functions[qualname] = FunctionInfo(
+            qualname=qualname, name=node.name, lineno=node.lineno,
+            is_async=is_async,
+            class_name=self._class_stack[-1] if self._class_stack else None,
+            node=node)
+        self._func_stack.append(qualname)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_func(node, is_async=False)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_func(node, is_async=True)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._func_stack:
+            self._deferred.append((self._func_stack[-1], node))
+        self.generic_visit(node)
+
+    # -- pass 2: resolve deferred calls ---------------------------------
+
+    def _resolve(self, caller: str, node: ast.Call) -> str | None:
+        chain = _attr_chain(node.func)
+        if not chain:
+            return None
+        info = self.functions[caller]
+        if len(chain) == 1:
+            name = chain[0]
+            # a nested function of the caller (or a sibling of any
+            # enclosing function) wins over a module-level function of
+            # the same name; a bare class-name prefix is NOT a lexical
+            # scope, so the prefix must itself be a function
+            parts = caller.split(".")
+            for depth in range(len(parts), 0, -1):
+                prefix = ".".join(parts[:depth])
+                if prefix not in self.functions:
+                    continue
+                nested = prefix + "." + name
+                if nested in self.functions:
+                    return nested
+            if name in self._module_funcs:
+                return name
+            if name in self._methods:       # ClassName(...) construction
+                ctor = name + ".__init__"
+                return ctor if ctor in self.functions else None
+            return None
+        if len(chain) == 2:
+            owner, method = chain
+            if owner in ("self", "cls") and info.class_name is not None:
+                if method in self._methods.get(info.class_name, ()):
+                    return info.class_name + "." + method
+                return None
+            if method in self._methods.get(owner, ()):
+                return owner + "." + method
+        return None
+
+    def finish(self) -> None:
+        for caller, node in self._deferred:
+            callee = self._resolve(caller, node)
+            if callee is not None:
+                self.edges.append(CallSite(caller=caller, callee=callee,
+                                           lineno=node.lineno))
+
+
+def build_callgraph(rel: str, source: str) -> CallGraph:
+    """Parse one module's source text into its intra-module call graph."""
+    tree = ast.parse(source, filename=rel)
+    collector = _Collector(rel)
+    collector.visit(tree)
+    collector.finish()
+    return CallGraph(rel=rel, functions=collector.functions,
+                     edges=tuple(collector.edges))

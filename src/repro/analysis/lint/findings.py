@@ -219,6 +219,105 @@ _RULE_LIST = (
         "controller call a non-callable (or silently skip behaviour).  "
         "Override hooks with methods only.",
     ),
+    Rule(
+        "AS301", "blocking-call-in-coroutine",
+        "a blocking call is reachable from an `async def` via the "
+        "intra-module call graph",
+        "The service daemon runs one event loop that owns every lease "
+        "timer, connection and event stream; a synchronous `time.sleep`, "
+        "`urllib`/`socket` request, `subprocess` wait or builtin `open()` "
+        "on a coroutine's call path stalls all of them at once.  The "
+        "finding names a concrete witness path.  Move the work off-loop "
+        "(executor, pre-computed data) or sanction a deliberately "
+        "bounded call with `# repro: allow-async[AS301] <justification>`.",
+    ),
+    Rule(
+        "AS302", "fire-and-forget-task",
+        "a spawned task's handle is neither stored, awaited, nor "
+        "cancelled",
+        "`asyncio.create_task` / `ensure_future` whose handle is dropped "
+        "(bare expression statement) or stored in a never-read binding "
+        "cannot be awaited or cancelled on drain, and any exception it "
+        "raises vanishes into the loop's exception handler.  The "
+        "sanctioned shape is server.py's `_tick_task`: store the handle, "
+        "`.cancel()` it in shutdown.",
+    ),
+    Rule(
+        "AS303", "await-in-critical-section",
+        "guarded state is mutated on both sides of an `await` without "
+        "holding a lock",
+        "The daemon's locking discipline is \"every mutation happens "
+        "between awaits\": a coroutine that mutates lease/queue/journal "
+        "state (the roots named by the module's `# repro: "
+        "guarded-state[...]` marker), awaits, then mutates again has "
+        "torn the transition — another handler interleaves at the yield "
+        "point and observes half-applied state.  Finish the mutation "
+        "before awaiting, hold the owning `asyncio.Lock` across the "
+        "section, or waive a proven-benign yield with `# repro: "
+        "allow-async[AS303] <justification>`.",
+    ),
+    Rule(
+        "AS304", "async-waiver-without-justification",
+        "an `allow-async[...]` waiver carries no justification text",
+        "Async waivers are load-bearing: each one asserts a hazard is "
+        "sound (a bounded local file append, a wrap-around yield that "
+        "re-validates state).  A bare marker records the suppression but "
+        "not the argument, so the next editor cannot re-check it.  "
+        "Follow the bracket with one line of why.  This rule cannot "
+        "itself be waived.",
+    ),
+    Rule(
+        "MC401", "mirror-undeclared",
+        "a SoA array is allocated without a mirror declaration",
+        "Every structure-of-arrays array the batched core allocates must "
+        "declare the scalar field(s) it shadows with `# repro: "
+        "mirror[_attr <- Class.field]` on the allocation line.  An "
+        "undeclared array is invisible to the cross-check, so nothing "
+        "would catch its refresh going stale.",
+    ),
+    Rule(
+        "MC402", "mirror-unknown-source",
+        "a mirror declaration cites a scalar field that does not exist",
+        "The declared source `Class.field` was not found in the scalar "
+        "source modules (pipeline/processor.py, pipeline/resources.py).  "
+        "This is the drift catcher: rename or remove a scalar field the "
+        "screen depends on and this fires on the stale declaration, "
+        "forcing the batched refresh to be revisited in the same change.",
+    ),
+    Rule(
+        "MC403", "mirror-not-refreshed",
+        "a declared mirror is never written by the refresh method",
+        "The `# repro: mirror-refresh` method must store every declared "
+        "mirror each round; one it never writes keeps its construction "
+        "value forever, so the vectorized screen reads permanently stale "
+        "state for that column.",
+    ),
+    Rule(
+        "MC404", "mirror-write-outside-refresh",
+        "a mirror array is written outside the refresh method",
+        "Mirrors are read-only copies of scalar state: the byte-identity "
+        "argument (docs/INTERNALS.md §1c) is that scheduling reads "
+        "mirrors but only the scalar machine is authoritative.  Any "
+        "store outside `__init__` and the refresh method makes the "
+        "mirror a second source of truth that can diverge.",
+    ),
+    Rule(
+        "MC405", "mirror-dangling-declaration",
+        "a mirror declaration names an array that is never allocated",
+        "The declaration cites a SoA attribute `__init__` does not "
+        "allocate — usually a leftover after a mirror was removed or "
+        "renamed.  Stale declarations rot the table's value as "
+        "documentation, so they are errors, not warnings.",
+    ),
+    Rule(
+        "MC406", "mirror-refresh-marker",
+        "the mirror class has no unique `# repro: mirror-refresh` method",
+        "Refresh coverage (MC403) and write containment (MC404) are "
+        "defined relative to one sanctioned writer.  A class that "
+        "declares mirrors must mark exactly one method with `# repro: "
+        "mirror-refresh` on its `def` line; zero or several markers "
+        "make the contract unverifiable.",
+    ),
 )
 
 RULES: dict[str, Rule] = {rule.code: rule for rule in _RULE_LIST}

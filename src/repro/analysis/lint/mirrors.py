@@ -1,0 +1,358 @@
+"""Mirror-coverage pass: the batched lane's SoA arrays vs the scalar
+machine (rules MC401–MC406, see docs/ANALYSIS.md).
+
+The batched core's byte-identity argument (docs/INTERNALS.md §1c) rests
+on its structure-of-arrays mirrors being exactly that — *mirrors*:
+read-only copies of scalar per-cell/per-thread state, refreshed from
+the authoritative objects before every screen.  That contract has a
+silent failure mode the equivalence tests only catch probabilistically:
+rename or add a scalar field the screen depends on, forget the batched
+refresh, and the mirror goes stale — the screen nominates the wrong
+cells, and only the per-cell ``quiescent_horizon`` confirmation stands
+between that and a wrong result.
+
+This pass makes the mirror table *declarative* and cross-checked.
+Every SoA allocation in the mirror class carries a declaration naming
+the scalar field(s) it shadows::
+
+    self._occ_iq = _np.zeros(...)  # repro: mirror[_occ_iq <- _ThreadState.iq_int]
+
+and exactly one method is marked as the refresh point::
+
+    def _refresh(self, active):  # repro: mirror-refresh
+
+The pass then proves, purely from the ASTs of the batched module and
+the scalar source modules:
+
+* **MC401** every SoA array allocated in ``__init__`` has a declaration;
+* **MC402** every declared source ``Class.attr`` names a real attribute
+  of a real class in the scalar modules (the drift catcher);
+* **MC403** every declared mirror is written by the refresh method;
+* **MC404** no mirror is written anywhere else (``__init__`` excepted) —
+  mirrors are read-only outside the refresh;
+* **MC405** no declaration names a mirror that is never allocated;
+* **MC406** the refresh marker exists and is unique.
+
+Like every lint pass this is stdlib-``ast`` only: numpy is never
+imported, so ``repro lint`` stays runnable on stdlib-only installs even
+though the module it checks guards a numpy dependency.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+
+from repro.analysis.lint.findings import Finding, allowed_codes
+
+__all__ = [
+    "MIRROR_DECL_RE",
+    "MIRROR_REFRESH_RE",
+    "check_module",
+    "scan_sources",
+]
+
+#: ``# repro: mirror[_attr <- Class.field, Class.other]``
+MIRROR_DECL_RE = re.compile(
+    r"#\s*repro:\s*mirror\[\s*(\w+)\s*<-\s*([^\]]+?)\s*\]")
+
+#: ``# repro: mirror-refresh`` on the refresh method's ``def`` line.
+MIRROR_REFRESH_RE = re.compile(r"#\s*repro:\s*mirror-refresh\b")
+
+#: numpy namespaces the mirror class may allocate through.
+_NUMPY_ROOTS = frozenset({"_np", "np", "numpy"})
+
+#: numpy constructors that allocate a mirror array.
+_ALLOC_TAILS = frozenset({
+    "zeros", "ones", "full", "empty", "zeros_like", "ones_like",
+    "full_like", "empty_like", "arange",
+})
+
+
+@dataclass(frozen=True)
+class MirrorDecl:
+    """One declared mirror: SoA attribute and its scalar sources."""
+
+    attr: str
+    sources: tuple[str, ...]   # "Class.field" strings, as written
+    line: int
+
+
+def _attr_chain(node: ast.expr) -> list[str]:
+    """``a.b.c`` -> ["a", "b", "c"]; empty when not a pure name chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return []
+
+
+def _self_store_attr(target: ast.expr) -> str | None:
+    """``self.X = ...`` / ``self.X[...] = ...`` -> ``X``; else None."""
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    if isinstance(target, ast.Attribute) \
+            and isinstance(target.value, ast.Name) \
+            and target.value.id == "self":
+        return target.attr
+    return None
+
+
+def _is_numpy_alloc(value: ast.expr) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    chain = _attr_chain(value.func)
+    return (len(chain) >= 2 and chain[0] in _NUMPY_ROOTS
+            and chain[-1] in _ALLOC_TAILS)
+
+
+def source_fields(source: str, rel: str) -> dict[str, frozenset[str]]:
+    """Attribute names per top-level class of one scalar source module.
+
+    An "attribute" is anything a mirror declaration may cite: a
+    ``self.X`` assignment in any method, a class-level (possibly
+    annotated) assignment, or a method/property name.
+    """
+    tree = ast.parse(source, filename=rel)
+    fields: dict[str, set[str]] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        names = fields.setdefault(node.name, set())
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                names.add(stmt.name)
+                for inner in ast.walk(stmt):
+                    targets: list[ast.expr] = []
+                    if isinstance(inner, ast.Assign):
+                        targets = list(inner.targets)
+                    elif isinstance(inner, (ast.AugAssign, ast.AnnAssign)):
+                        targets = [inner.target]
+                    for target in targets:
+                        if isinstance(target, ast.Tuple):
+                            elements: list[ast.expr] = list(target.elts)
+                        else:
+                            elements = [target]
+                        for element in elements:
+                            attr = _self_store_attr(element)
+                            if attr is not None:
+                                names.add(attr)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name):
+                names.add(stmt.target.id)
+    return {name: frozenset(values) for name, values in fields.items()}
+
+
+class _ClassAudit:
+    """Mirror audit of one top-level class in the batched module."""
+
+    def __init__(self, rel: str, lines: list[str], node: ast.ClassDef,
+                 fields: dict[str, frozenset[str]]) -> None:
+        self.rel = rel
+        self.lines = lines
+        self.node = node
+        self.fields = fields
+        self.findings: list[Finding] = []
+
+    def _line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def _report(self, code: str, lineno: int, message: str) -> None:
+        if code in allowed_codes(self._line(lineno)):
+            return
+        self.findings.append(Finding(rule=code, path=self.rel, line=lineno,
+                                     message=message))
+
+    def _declarations(self) -> list[MirrorDecl]:
+        end = self.node.end_lineno or self.node.lineno
+        decls: list[MirrorDecl] = []
+        for lineno in range(self.node.lineno, end + 1):
+            match = MIRROR_DECL_RE.search(self._line(lineno))
+            if match is None:
+                continue
+            sources = tuple(part.strip()
+                            for part in match.group(2).split(",")
+                            if part.strip())
+            decls.append(MirrorDecl(attr=match.group(1), sources=sources,
+                                    line=lineno))
+        return decls
+
+    def _methods(self) -> dict[str, ast.FunctionDef | ast.AsyncFunctionDef]:
+        return {stmt.name: stmt for stmt in self.node.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))}
+
+    def _allocations(self) -> dict[str, int]:
+        """SoA arrays allocated in ``__init__``: attr -> line."""
+        init = self._methods().get("__init__")
+        if init is None:
+            return {}
+        allocs: dict[str, int] = {}
+        for inner in ast.walk(init):
+            if not isinstance(inner, ast.Assign):
+                continue
+            if not _is_numpy_alloc(inner.value):
+                continue
+            for target in inner.targets:
+                attr = _self_store_attr(target)
+                if attr is not None and not isinstance(target,
+                                                       ast.Subscript):
+                    allocs.setdefault(attr, inner.lineno)
+        return allocs
+
+    @staticmethod
+    def _stores(method: ast.FunctionDef | ast.AsyncFunctionDef,
+                attrs: frozenset[str]) -> dict[str, list[int]]:
+        """Lines where ``method`` stores to each of ``attrs``."""
+        stores: dict[str, list[int]] = {}
+        for inner in ast.walk(method):
+            targets: list[ast.expr] = []
+            if isinstance(inner, ast.Assign):
+                targets = list(inner.targets)
+            elif isinstance(inner, (ast.AugAssign, ast.AnnAssign)):
+                targets = [inner.target]
+            elif isinstance(inner, ast.Delete):
+                targets = list(inner.targets)
+            for target in targets:
+                attr = _self_store_attr(target)
+                if attr in attrs:
+                    assert attr is not None
+                    stores.setdefault(attr, []).append(inner.lineno)
+        return stores
+
+    def _refresh_method(self) -> str | None:
+        """The unique ``# repro: mirror-refresh``-marked method name, or
+        None after reporting MC406."""
+        marked = [name for name, method in sorted(self._methods().items())
+                  if MIRROR_REFRESH_RE.search(self._line(method.lineno))]
+        if len(marked) == 1:
+            return marked[0]
+        if len(marked) == 0:
+            self._report(
+                "MC406", self.node.lineno,
+                "class `%s` declares mirrors but no method carries the "
+                "`# repro: mirror-refresh` marker, so refresh coverage "
+                "cannot be checked" % self.node.name)
+        else:
+            self._report(
+                "MC406", self.node.lineno,
+                "class `%s` marks %d methods as the mirror refresh (%s); "
+                "exactly one must own all mirror writes"
+                % (self.node.name, len(marked), ", ".join(marked)))
+        return None
+
+    def run(self) -> list[Finding]:
+        decls = self._declarations()
+        allocs = self._allocations()
+        if not decls and not allocs:
+            return self.findings
+        declared = {decl.attr for decl in decls}
+
+        # MC401: every SoA allocation is declared.
+        for attr in sorted(allocs):
+            if attr not in declared:
+                self._report(
+                    "MC401", allocs[attr],
+                    "SoA array `%s` has no mirror declaration; state its "
+                    "scalar source with `# repro: mirror[%s <- "
+                    "Class.field]`" % (attr, attr))
+
+        # MC405: every declaration names an allocated array.
+        for decl in decls:
+            if decl.attr not in allocs:
+                self._report(
+                    "MC405", decl.line,
+                    "mirror declaration names `%s`, but `%s.__init__` "
+                    "allocates no such SoA array — stale declaration?"
+                    % (decl.attr, self.node.name))
+
+        # MC402: every declared source resolves in the scalar modules.
+        known_classes = ", ".join(sorted(self.fields)) or "(none)"
+        for decl in decls:
+            for source in decl.sources:
+                class_name, _, field = source.partition(".")
+                if not field or class_name not in self.fields:
+                    self._report(
+                        "MC402", decl.line,
+                        "mirror source `%s` does not name a known scalar "
+                        "class (have: %s)" % (source, known_classes))
+                elif field not in self.fields[class_name]:
+                    self._report(
+                        "MC402", decl.line,
+                        "mirror source `%s`: class `%s` has no attribute "
+                        "`%s` in the scalar modules — renamed or removed "
+                        "field?" % (source, class_name, field))
+
+        refresh = self._refresh_method()
+        if refresh is None:
+            return self.findings
+        methods = self._methods()
+        mirror_attrs = frozenset(declared | set(allocs))
+
+        # MC403: the refresh method writes every declared mirror.
+        refreshed = self._stores(methods[refresh], mirror_attrs)
+        for decl in decls:
+            if decl.attr in allocs and decl.attr not in refreshed:
+                self._report(
+                    "MC403", decl.line,
+                    "mirror `%s` is declared but `%s()` never writes it: "
+                    "the screen would read a stale array"
+                    % (decl.attr, refresh))
+
+        # MC404: nothing else writes a mirror.
+        for name in sorted(methods):
+            if name in ("__init__", refresh):
+                continue
+            for attr, linenos in sorted(
+                    self._stores(methods[name], mirror_attrs).items()):
+                for lineno in linenos:
+                    self._report(
+                        "MC404", lineno,
+                        "mirror `%s` is written outside the refresh "
+                        "method (`%s()` is the only sanctioned writer): "
+                        "mirrors are read-only copies of scalar state"
+                        % (attr, refresh))
+        return self.findings
+
+
+def scan_sources(rel: str, source: str,
+                 scalar_sources: dict[str, str]) -> list[Finding]:
+    """Mirror findings for one batched-module source against the scalar
+    source texts (``{rel: source}``)."""
+    fields: dict[str, frozenset[str]] = {}
+    for scalar_rel in sorted(scalar_sources):
+        for name, values in source_fields(scalar_sources[scalar_rel],
+                                          scalar_rel).items():
+            fields[name] = fields.get(name, frozenset()) | values
+    tree = ast.parse(source, filename=rel)
+    lines = source.splitlines()
+    findings: list[Finding] = []
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            findings.extend(_ClassAudit(rel, lines, node, fields).run())
+    findings.sort(key=lambda f: (f.line, f.rule, f.message))
+    return findings
+
+
+def check_module(root: str, rel: str,
+                 source_rels: tuple[str, ...]) -> list[Finding]:
+    """Audit one on-disk batched module against on-disk scalar modules."""
+    def _read(relpath: str) -> str:
+        with open(os.path.join(root, relpath), encoding="utf-8") as handle:
+            return handle.read()
+
+    scalars = {source_rel: _read(source_rel)
+               for source_rel in source_rels
+               if os.path.exists(os.path.join(root, source_rel))}
+    return scan_sources(rel, _read(rel), scalars)

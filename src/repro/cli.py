@@ -826,20 +826,31 @@ def cmd_loadtest(args):
     return 0 if report["identical"] and report["errors"] == 0 else 1
 
 
+def _split_codes(tokens):
+    """Flatten ``--select AS,MC`` and ``--select AS MC`` alike."""
+    codes = []
+    for token in tokens or ():
+        codes.extend(part for part in token.split(",") if part)
+    return tuple(codes)
+
+
 def cmd_lint(args):
     from repro.analysis.lint import engine
 
     if args.explain is not None:
+        if args.explain == "all":
+            print(engine.explain_all())
+            return 0
         try:
             print(engine.explain(args.explain))
         except KeyError:
-            _fail("unknown rule %r (known: %s)"
+            _fail("unknown rule %r (known: all, %s)"
                   % (args.explain,
                      ", ".join(sorted(engine.RULES))))
         return 0
     try:
-        findings = engine.run_repo_lint(select=tuple(args.select or ()),
-                                        ignore=tuple(args.ignore or ()))
+        findings = engine.run_repo_lint(select=_split_codes(args.select),
+                                        ignore=_split_codes(args.ignore))
         rendered = (engine.render_json(findings) if args.format == "json"
                     else engine.render_text(findings))
     except Exception as exc:  # internal error: exit 2, not a finding list
@@ -1017,15 +1028,18 @@ def build_parser():
     sub = commands.add_parser(
         "lint",
         help="static self-analysis: fingerprint coverage, determinism, "
-             "policy contracts (exit 1 on findings)")
+             "policy contracts, async safety, mirror coverage (exit 1 "
+             "on findings)")
     sub.add_argument("--format", choices=("text", "json"), default="text")
     sub.add_argument("--select", nargs="+", default=None, metavar="CODE",
-                     help="only rules with these code prefixes "
-                          "(e.g. FP ND1 PC203)")
+                     help="only rules with these code prefixes; "
+                          "space- or comma-separated (e.g. FP ND1 "
+                          "PC203, or AS,MC)")
     sub.add_argument("--ignore", nargs="+", default=None, metavar="CODE",
                      help="drop rules with these code prefixes")
     sub.add_argument("--explain", default=None, metavar="RULE",
-                     help="print one rule's documentation and exit")
+                     help="print one rule's documentation and exit "
+                          "('all' lists the whole catalogue)")
     sub.set_defaults(func=cmd_lint)
 
     sub = commands.add_parser(

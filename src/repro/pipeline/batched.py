@@ -131,21 +131,39 @@ class BatchCore:
         width = max((proc.num_threads for proc in self.procs), default=1)
         # Structure-of-arrays mirrors, [cell] and [cell, thread].  Unused
         # thread slots are padded so they read as permanently ineligible.
+        # Each mirror declares the scalar field(s) it shadows; the
+        # declarations are cross-checked against pipeline/processor.py
+        # and pipeline/resources.py by `repro lint` (MC4xx rules,
+        # docs/ANALYSIS.md "Mirror coverage") so a scalar rename or an
+        # unrefreshed/extra/written-elsewhere mirror fails the build.
+        # repro: mirror[_cycle <- SMTProcessor.cycle]
         self._cycle = _np.zeros(cells, dtype=_np.int64)
+        # repro: mirror[_ready_empty <- SMTProcessor._ready]
         self._ready_empty = _np.zeros(cells, dtype=bool)
+        # repro: mirror[_ifq_space <- SMTProcessor.ifq_total]
         self._ifq_space = _np.zeros(cells, dtype=bool)
+        # repro: mirror[_event_head <- SMTProcessor._completions, SMTProcessor._detections]
         self._event_head = _np.full(cells, _NEVER, dtype=_np.int64)
+        # repro: mirror[_enabled <- SMTProcessor.enabled]
         self._enabled = _np.zeros((cells, width), dtype=bool)
+        # repro: mirror[_locked <- _ThreadState.policy_locked]
         self._locked = _np.zeros((cells, width), dtype=bool)
+        # repro: mirror[_blocked_until <- _ThreadState.fetch_blocked_until]
         self._blocked_until = _np.zeros((cells, width), dtype=_np.int64)
+        # repro: mirror[_occ_ren <- _ThreadState.ren_int]
         self._occ_ren = _np.zeros((cells, width), dtype=_np.int64)
+        # repro: mirror[_occ_iq <- _ThreadState.iq_int]
         self._occ_iq = _np.zeros((cells, width), dtype=_np.int64)
+        # repro: mirror[_occ_rob <- _ThreadState.rob]
         self._occ_rob = _np.zeros((cells, width), dtype=_np.int64)
+        # repro: mirror[_lim_ren <- PartitionRegisters.limit_int_rename]
         self._lim_ren = _np.zeros((cells, width), dtype=_np.int64)
+        # repro: mirror[_lim_iq <- PartitionRegisters.limit_int_iq]
         self._lim_iq = _np.zeros((cells, width), dtype=_np.int64)
+        # repro: mirror[_lim_rob <- PartitionRegisters.limit_rob]
         self._lim_rob = _np.zeros((cells, width), dtype=_np.int64)
 
-    def _refresh(self, active):
+    def _refresh(self, active):  # repro: mirror-refresh
         """Mirror the scheduling-relevant machine state of the active
         cells into the SoA arrays.  Mirrors are exact at screen time:
         cells only mutate while being stepped, after the screen."""

@@ -68,8 +68,8 @@ def _spawn_worker(url, name, fault=None, idle_exit=8.0):
 
 
 def _wait_for(predicate, timeout, interval=0.1):
-    deadline = time.monotonic() + timeout
-    while time.monotonic() < deadline:
+    deadline = time.monotonic() + timeout  # repro: allow-nondeterminism[ND101] (harness deadline, not results)
+    while time.monotonic() < deadline:  # repro: allow-nondeterminism[ND101] (harness deadline, not results)
         if predicate():
             return True
         time.sleep(interval)

@@ -102,7 +102,7 @@ class ServiceClient:
             payload["cells"] = cells
         if scale is not None:
             payload["scale"] = scale
-        stop_at = time.monotonic() + deadline
+        stop_at = time.monotonic() + deadline  # repro: allow-nondeterminism[ND101] (retry deadline)
         while True:
             status, headers, body = self._request("POST", "/v1/sweeps",
                                                   payload)
@@ -115,7 +115,7 @@ class ServiceClient:
                     raise SubmitRejected(
                         status, parsed.get("error", "rejected"),
                         retry_after)
-                if time.monotonic() + retry_after > stop_at:
+                if time.monotonic() + retry_after > stop_at:  # repro: allow-nondeterminism[ND101] (retry deadline)
                     raise SubmitRejected(
                         status, "still rejected after %.0fs: %s"
                         % (deadline, parsed.get("error", "rejected")),
@@ -149,8 +149,8 @@ class ServiceClient:
         with the same persisted job id); raises :class:`ServiceError`
         on timeout.
         """
-        stop_at = time.monotonic() + deadline
-        while time.monotonic() < stop_at:
+        stop_at = time.monotonic() + deadline  # repro: allow-nondeterminism[ND101] (poll deadline)
+        while time.monotonic() < stop_at:  # repro: allow-nondeterminism[ND101] (poll deadline)
             try:
                 record = self.status(job_id)
             except (urllib.error.URLError, OSError, ServiceError) as exc:

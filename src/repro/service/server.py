@@ -138,7 +138,7 @@ class _Job:
         self.quarantined = {}   # key -> ledger entry
         self.events = []
         self.done = False
-        self.started = time.time()
+        self.started = time.time()  # repro: allow-nondeterminism[ND101] (job wall-clock metadata)
 
     @property
     def total(self):
@@ -147,6 +147,12 @@ class _Job:
 
 class SweepService:
     """The daemon's state machine; all methods run on one event loop."""
+
+    # The locking discipline is "every mutation happens between awaits":
+    # these roots (`self.<root>` and the locals aliasing their entries)
+    # must never be mutated on both sides of an `await` in one coroutine
+    # without a lock.  Enforced by `repro lint` rule AS303.
+    # repro: guarded-state[tasks, jobs, workers, _ready, draining, task, job, entry]
 
     def __init__(self, config):
         self.config = config
@@ -200,10 +206,10 @@ class SweepService:
                 self._emit(job, "service-draining",
                            pending=len(job.pending))
         if drain:
-            deadline = time.monotonic() + self.config.drain_grace
+            deadline = time.monotonic() + self.config.drain_grace  # repro: allow-nondeterminism[ND101] (drain grace timer)
             while (any(task.state == "leased"
                        for task in self.tasks.values())
-                   and time.monotonic() < deadline):
+                   and time.monotonic() < deadline):  # repro: allow-nondeterminism[ND101] (drain grace timer)
                 await asyncio.sleep(self.config.tick_interval)
         self._snapshot_queue()
         if self._tick_task is not None:
@@ -220,7 +226,7 @@ class SweepService:
     # -- persistence -----------------------------------------------------
 
     def _journal(self, record):
-        with open(self._journal_path, "a") as handle:
+        with open(self._journal_path, "a") as handle:  # repro: allow-async[AS301] bounded local journal append
             handle.write(json.dumps(record, sort_keys=True) + "\n")
 
     def _snapshot_queue(self):
@@ -238,7 +244,7 @@ class SweepService:
                 }
         snapshot = {"tasks": unresolved}
         tmp = self._snapshot_path + ".tmp.%d" % os.getpid()
-        with open(tmp, "w") as handle:
+        with open(tmp, "w") as handle:  # repro: allow-async[AS301] drain-time snapshot to local tmp file
             json.dump(snapshot, handle, sort_keys=True)
         os.replace(tmp, self._snapshot_path)
 
@@ -257,7 +263,7 @@ class SweepService:
             return
         snapshot = {}
         try:
-            with open(self._snapshot_path) as handle:
+            with open(self._snapshot_path) as handle:  # repro: allow-async[AS301] startup restore, before serving
                 snapshot = json.load(handle).get("tasks", {})
         except (OSError, ValueError):
             snapshot = {}
@@ -324,7 +330,7 @@ class SweepService:
     def _emit(self, target, event, **fields):
         if event not in _VALID_EVENTS:
             raise ValueError("unknown service event %r" % event)
-        record = {"ts": round(time.time(), 3), "event": event}
+        record = {"ts": round(time.time(), 3), "event": event}  # repro: allow-nondeterminism[ND101] (event timestamps)
         record.update(fields)
         target.events.append(record)
 
@@ -379,7 +385,7 @@ class SweepService:
                               self.config.retry_max_delay, self.config.seed,
                               task.cell.label)
         task.state = "waiting"
-        task.not_before = time.monotonic() + delay
+        task.not_before = time.monotonic() + delay  # repro: allow-nondeterminism[ND101] (retry backoff timer)
         self.stats["retries"] += 1
         self._emit_task(task, "cell-retry", cell=task.cell.label,
                         attempt=task.attempts + 1, delay_s=round(delay, 3),
@@ -393,7 +399,7 @@ class SweepService:
             "attempts": task.attempts,
             "failures": [line.splitlines()[0] for line in task.failures],
             "last_error": task.failures[-1] if task.failures else "",
-            "quarantined_at": round(time.time(), 3),
+            "quarantined_at": round(time.time(), 3),  # repro: allow-nondeterminism[ND101] (ledger timestamp)
             "workload": task.cell.workload,
             "policy": task.cell.policy,
             "seed": task.cell.seed,
@@ -438,7 +444,7 @@ class SweepService:
         self._emit(job, "sweep-done", total=job.total, cached=job.cached,
                    simulated=job.total - job.cached - len(job.quarantined),
                    quarantined=len(job.quarantined),
-                   wall_s=round(time.time() - job.started, 3))
+                   wall_s=round(time.time() - job.started, 3))  # repro: allow-nondeterminism[ND101] (job wall-clock metadata)
         self._emit(job, "job-done", job=job.id,
                    quarantined=len(job.quarantined))
         self._journal({"job": job.id, "done": True})
@@ -451,8 +457,8 @@ class SweepService:
 
     async def _tick_loop(self):
         while True:
-            await asyncio.sleep(self.config.tick_interval)
-            now = time.monotonic()
+            await asyncio.sleep(self.config.tick_interval)  # repro: allow-async[AS303] wrap-around yield: each tick re-reads all state before acting
+            now = time.monotonic()  # repro: allow-nondeterminism[ND101] (lease/backoff clock)
             for task in self.tasks.values():
                 if (task.state == "waiting"
                         and task.not_before is not None
@@ -758,7 +764,7 @@ class SweepService:
         worker_id = "w-%04d" % self._worker_seq
         self.workers[worker_id] = {
             "name": payload.get("name") or worker_id,
-            "last_seen": time.monotonic(),
+            "last_seen": time.monotonic(),  # repro: allow-nondeterminism[ND101] (worker liveness)
             "task": None,
         }
         self._broadcast("worker-registered", worker=worker_id)
@@ -772,7 +778,7 @@ class SweepService:
         if entry is None:
             await send_response(writer, 404, {"error": "unknown worker"})
             return
-        entry["last_seen"] = time.monotonic()
+        entry["last_seen"] = time.monotonic()  # repro: allow-nondeterminism[ND101] (worker liveness)
         if self.draining:
             await send_response(writer, 204,
                                 headers={"X-Draining": "true"})
@@ -783,7 +789,7 @@ class SweepService:
             return
         task.state = "leased"
         task.worker = worker_id
-        task.lease_deadline = time.monotonic() + self.config.lease_timeout
+        task.lease_deadline = time.monotonic() + self.config.lease_timeout  # repro: allow-nondeterminism[ND101] (lease timer)
         entry["task"] = task.key
         self.stats["leases"] += 1
         attempt = task.attempts + 1
@@ -807,13 +813,13 @@ class SweepService:
         key = payload.get("key")
         entry = self.workers.get(worker_id)
         if entry is not None:
-            entry["last_seen"] = time.monotonic()
+            entry["last_seen"] = time.monotonic()  # repro: allow-nondeterminism[ND101] (worker liveness)
         task = self.tasks.get(key)
         if (entry is None or task is None or task.state != "leased"
                 or task.worker != worker_id):
             await send_response(writer, 410, {"error": "lease-lost"})
             return
-        task.lease_deadline = time.monotonic() + self.config.lease_timeout
+        task.lease_deadline = time.monotonic() + self.config.lease_timeout  # repro: allow-nondeterminism[ND101] (lease timer)
         await send_response(writer, 200, {"ok": True})
 
     async def _handle_worker_result(self, worker_id, request, writer):
@@ -825,7 +831,7 @@ class SweepService:
             return
         entry = self.workers.get(worker_id)
         if entry is not None:
-            entry["last_seen"] = time.monotonic()
+            entry["last_seen"] = time.monotonic()  # repro: allow-nondeterminism[ND101] (worker liveness)
             entry["task"] = None
         if task.state in ("done", "quarantined"):
             # A late upload from an expired lease whose cell was already
@@ -862,7 +868,7 @@ class SweepService:
         key, byte-for-byte as stored (identity stays the sha256 key)."""
         path = self.cache._path(key)
         try:
-            with open(path, "rb") as handle:
+            with open(path, "rb") as handle:  # repro: allow-async[AS301] local content-addressed cache read
                 body = handle.read()
         except OSError:
             await send_response(writer, 404, {"error": "unknown key"})

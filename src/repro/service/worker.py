@@ -156,7 +156,7 @@ def run_worker(server_url, poll_interval=0.25, max_cells=None,
     lease_timeout = float(registration.get("lease_timeout", 30.0))
     heartbeat_every = max(0.05, lease_timeout / 4.0)
     say("worker %s registered with %s" % (worker_id, server_url))
-    idle_since = time.monotonic()
+    idle_since = time.monotonic()  # repro: allow-nondeterminism[ND101] (idle-exit timer)
 
     while True:
         if max_cells is not None and summary["completed"] >= max_cells:
@@ -170,7 +170,7 @@ def run_worker(server_url, poll_interval=0.25, max_cells=None,
             # Daemon gone (drained or crashed): workers outlive it only
             # by idle_exit, so fleets wind down on their own.
             if idle_exit is not None \
-                    and time.monotonic() - idle_since > idle_exit:
+                    and time.monotonic() - idle_since > idle_exit:  # repro: allow-nondeterminism[ND101] (idle-exit timer)
                 say("worker %s exiting: server unreachable" % worker_id)
                 return summary
             time.sleep(poll_interval)
@@ -183,14 +183,14 @@ def run_worker(server_url, poll_interval=0.25, max_cells=None,
             continue
         if status != 200 or task is None:
             if idle_exit is not None \
-                    and time.monotonic() - idle_since > idle_exit:
+                    and time.monotonic() - idle_since > idle_exit:  # repro: allow-nondeterminism[ND101] (idle-exit timer)
                 say("worker %s exiting: idle for %.1fs"
                     % (worker_id, idle_exit))
                 return summary
             time.sleep(poll_interval)
             continue
 
-        idle_since = time.monotonic()
+        idle_since = time.monotonic()  # repro: allow-nondeterminism[ND101] (idle-exit timer)
         limit = batch_cells if max_cells is None else min(
             batch_cells, max_cells - summary["completed"])
         batch = [task]

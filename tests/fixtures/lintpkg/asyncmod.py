@@ -1,0 +1,57 @@
+"""Async-safety fixture: seeded AS301–AS304 violations with known line
+numbers (tests/test_lint_asyncsafety.py asserts them exactly)."""
+
+import asyncio
+import time
+
+# repro: guarded-state[tasks, queue]
+
+
+def helper_blocks():
+    time.sleep(0.1)                              # AS301 via call graph
+
+
+class Daemon:
+    def __init__(self):
+        self.tasks = {}
+        self.queue = []
+        self._lock = asyncio.Lock()
+        self._tick_task = None
+        self._bg = None
+
+    async def tick(self):
+        time.sleep(0.1)                          # AS301 (direct)
+
+    async def submit(self, record):
+        self._journal(record)                    # -> AS301 inside _journal
+
+    def _journal(self, record):
+        with open("journal.jsonl", "a") as handle:
+            handle.write(str(record) + "\n")
+
+    async def spawn_orphan(self):
+        asyncio.create_task(self.tick())         # AS302 (handle dropped)
+
+    async def spawn_unread(self):
+        self._bg = asyncio.ensure_future(self.tick())   # AS302 (never read)
+
+    async def start(self):
+        self._tick_task = asyncio.ensure_future(self.tick())   # clean
+
+    def stop(self):
+        self._tick_task.cancel()
+
+    async def torn(self, key):
+        self.tasks[key] = "leased"
+        await asyncio.sleep(0)                   # AS303 (torn section)
+        self.queue.append(key)
+
+    async def locked(self, key):
+        async with self._lock:
+            self.tasks[key] = "leased"
+            await asyncio.sleep(0)               # clean (lock held)
+            self.queue.append(key)
+
+    async def sanctioned(self):
+        time.sleep(0)  # repro: allow-async[AS301] bounded test stub
+        time.sleep(0)  # repro: allow-async[AS301]

@@ -1,0 +1,24 @@
+"""Batched-lane fixture: seeded MC401–MC405 mirror-contract violations
+with known line numbers (tests/test_lint_mirrors.py asserts them)."""
+
+import numpy as np
+
+
+class MiniBatch:
+    def __init__(self, cells):
+        self._orphan = np.zeros(cells)           # MC401 (no declaration)
+        # repro: mirror[_occ <- Machine.occ]
+        self._occ = np.zeros(cells)
+        # repro: mirror[_stale <- Machine.gone]
+        self._stale = np.zeros(cells)            # MC402 (unknown source)
+        # repro: mirror[_lim <- Machine.limit]
+        self._lim = np.zeros(cells)              # MC403 (never refreshed)
+        # repro: mirror[_ghost <- Machine.occ]   MC405 (never allocated)
+
+    def _refresh(self, machines):  # repro: mirror-refresh
+        for index, machine in enumerate(machines):
+            self._occ[index] = machine.occ
+            self._stale[index] = 0
+
+    def poke(self, index):
+        self._occ[index] = 99                    # MC404 (write outside)

@@ -1,0 +1,11 @@
+"""Scalar source fixture for the mirror-coverage tests: the class whose
+fields mirrormod.py's declarations must resolve against."""
+
+
+class Machine:
+    def __init__(self):
+        self.occ = 0
+        self.limit = 4
+
+    def step(self):
+        self.occ += 1

@@ -1,0 +1,110 @@
+"""Async-safety pass tests: exact rule codes and line numbers against
+the seeded violations in ``tests/fixtures/lintpkg/asyncmod.py``."""
+
+import os
+
+from repro.analysis.lint.asyncsafety import scan_file, scan_source
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+PKG_ROOT = os.path.join(FIXTURES, "lintpkg")
+
+#: (rule, line) for every seeded violation in asyncmod.py, in file order.
+EXPECTED = [
+    ("AS301", 23),   # time.sleep() directly inside Daemon.tick
+    ("AS301", 29),   # open() in _journal, reachable from Daemon.submit
+    ("AS302", 33),   # bare asyncio.create_task(...) — handle dropped
+    ("AS302", 36),   # handle stored in self._bg, never read
+    ("AS303", 46),   # await between two guarded mutations, no lock
+    ("AS304", 57),   # allow-async waiver with no justification
+]
+
+
+def test_async_fixture_exact_findings():
+    findings = scan_file(PKG_ROOT, "asyncmod.py")
+    got = [(f.rule, f.line) for f in findings]
+    assert got == EXPECTED
+    assert all(f.path == "asyncmod.py" for f in findings)
+
+
+def test_witness_path_is_named_in_the_message():
+    findings = scan_file(PKG_ROOT, "asyncmod.py")
+    indirect = [f for f in findings if f.rule == "AS301" and f.line == 29]
+    assert len(indirect) == 1
+    assert "Daemon.submit -> Daemon._journal" in indirect[0].message
+
+
+def test_blocking_call_in_sync_only_code_is_not_flagged():
+    # helper_blocks() sleeps but no coroutine can reach it (line 11)
+    findings = scan_file(PKG_ROOT, "asyncmod.py")
+    assert not any(f.line == 11 for f in findings)
+
+
+def test_stored_and_cancelled_task_is_clean():
+    # Daemon.start stores self._tick_task; Daemon.stop cancels it
+    findings = scan_file(PKG_ROOT, "asyncmod.py")
+    assert not any(f.line == 39 for f in findings)
+
+
+def test_lock_held_section_is_clean():
+    # Daemon.locked awaits between mutations under `async with self._lock`
+    findings = scan_file(PKG_ROOT, "asyncmod.py")
+    assert not any(f.line == 52 for f in findings)
+
+
+def test_justified_waiver_suppresses_and_is_not_as304():
+    findings = scan_file(PKG_ROOT, "asyncmod.py")
+    assert not any(f.line == 56 for f in findings)
+
+
+def test_from_import_alias_of_sleep_is_flagged():
+    src = ("from time import sleep\n"
+           "async def run():\n"
+           "    sleep(1)\n")
+    assert [(f.rule, f.line) for f in scan_source("mod.py", src)] \
+        == [("AS301", 3)]
+
+
+def test_subprocess_wait_is_flagged():
+    src = ("import subprocess\n"
+           "async def run():\n"
+           "    subprocess.check_call(['true'])\n")
+    assert [(f.rule, f.line) for f in scan_source("mod.py", src)] \
+        == [("AS301", 3)]
+
+
+def test_loop_wraparound_counts_as_torn_section():
+    # mutate at the bottom of the loop body, await at the top: the
+    # second iteration awaits with the previous mutation pending
+    src = ("import asyncio\n"
+           "# repro: guarded-state[jobs]\n"
+           "async def run(self):\n"
+           "    while True:\n"
+           "        await asyncio.sleep(1)\n"
+           "        self.jobs.clear()\n")
+    assert [(f.rule, f.line) for f in scan_source("mod.py", src)] \
+        == [("AS303", 5)]
+
+
+def test_no_guarded_state_marker_disables_as303():
+    src = ("import asyncio\n"
+           "async def run(self):\n"
+           "    self.jobs['a'] = 1\n"
+           "    await asyncio.sleep(0)\n"
+           "    self.jobs['b'] = 2\n")
+    assert scan_source("mod.py", src) == []
+
+
+def test_mutations_on_one_side_of_await_are_clean():
+    src = ("import asyncio\n"
+           "# repro: guarded-state[jobs]\n"
+           "async def run(self):\n"
+           "    self.jobs['a'] = 1\n"
+           "    self.jobs['b'] = 2\n"
+           "    await asyncio.sleep(0)\n")
+    assert scan_source("mod.py", src) == []
+
+
+def test_as304_cannot_be_waived():
+    src = "x = 1  # repro: allow-async[AS301, AS304]\n"
+    findings = scan_source("mod.py", src)
+    assert [f.rule for f in findings] == ["AS304"]

@@ -1,0 +1,90 @@
+"""Call-graph layer tests: resolution rules and async witness paths."""
+
+from repro.analysis.lint.callgraph import build_callgraph
+
+SRC = '''\
+import asyncio
+
+
+def helper():
+    inner_target = 1
+
+    def inner():
+        return inner_target
+    return inner()
+
+
+def shared():
+    return helper()
+
+
+class Service:
+    def __init__(self):
+        self.state = {}
+
+    def journal(self, record):
+        shared()
+
+    async def handle(self, record):
+        self.journal(record)
+
+    async def tick(self):
+        self.journal(None)
+
+
+def make_service():
+    return Service()
+'''
+
+
+def graph():
+    return build_callgraph("mod.py", SRC)
+
+
+def test_functions_and_coroutines_are_collected():
+    g = graph()
+    assert "helper" in g.functions
+    assert "helper.inner" in g.functions
+    assert "Service.handle" in g.functions
+    assert g.functions["Service.handle"].is_async
+    assert not g.functions["Service.journal"].is_async
+    assert g.functions["Service.journal"].class_name == "Service"
+
+
+def test_bare_name_resolves_to_nested_then_module_level():
+    g = graph()
+    edges = {(e.caller, e.callee) for e in g.edges}
+    assert ("helper", "helper.inner") in edges       # nested sibling wins
+    assert ("shared", "helper") in edges             # module-level function
+    assert ("make_service", "Service.__init__") in edges  # constructor
+
+
+def test_self_method_calls_resolve_within_class():
+    g = graph()
+    edges = {(e.caller, e.callee) for e in g.edges}
+    assert ("Service.handle", "Service.journal") in edges
+    assert ("Service.journal", "shared") in edges
+
+
+def test_async_paths_give_shortest_deterministic_witness():
+    paths = graph().async_paths()
+    # both coroutines are roots
+    assert paths["Service.handle"] == ("Service.handle",)
+    assert paths["Service.tick"] == ("Service.tick",)
+    # journal is reachable from either; sorted BFS picks Service.handle
+    assert paths["Service.journal"] == ("Service.handle", "Service.journal")
+    # transitive reach through sync helpers
+    assert paths["shared"] == ("Service.handle", "Service.journal", "shared")
+    assert paths["helper"][-1] == "helper"
+    # a function nobody async-reaches is absent
+    assert "make_service" not in paths
+
+
+def test_unresolvable_calls_drop_edges_not_crash():
+    src = ("async def run(queue, obj):\n"
+           "    await queue.get()\n"
+           "    obj.method().chained()\n"
+           "    unknown_name()\n")
+    g = build_callgraph("mod.py", src)
+    assert g.calls_from("run") == ()
+    assert g.async_paths() == {"run": ("run",)}

@@ -23,12 +23,18 @@ def test_clean_tree_exits_zero(capsys):
 def test_json_format(capsys):
     assert main(["lint", "--format", "json"]) == 0
     payload = json.loads(capsys.readouterr().out)
-    assert payload == {"clean": True, "findings": []}
+    assert payload == {"schema_version": 1, "clean": True, "findings": []}
 
 
 def test_select_and_ignore_filters(capsys):
     assert main(["lint", "--select", "PC"]) == 0
-    assert main(["lint", "--ignore", "FP", "ND", "PC"]) == 0
+    assert main(["lint", "--ignore", "FP", "ND", "PC", "AS", "MC"]) == 0
+
+
+def test_select_accepts_comma_separated_codes(capsys):
+    assert main(["lint", "--select", "AS,MC"]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
 
 
 def test_findings_exit_one(capsys, monkeypatch):
@@ -51,8 +57,13 @@ def test_findings_json_payload(capsys, monkeypatch):
     assert main(["lint", "--format", "json"]) == 1
     payload = json.loads(capsys.readouterr().out)
     assert payload["clean"] is False
+    assert payload["schema_version"] == 1
     assert {"rule", "path", "line", "message", "severity"} \
         <= set(payload["findings"][0])
+    # deterministic (path, line, rule, message) order
+    keys = [(f["path"], f["line"], f["rule"], f["message"])
+            for f in payload["findings"]]
+    assert keys == sorted(keys)
 
 
 def test_explain_every_rule(capsys):
@@ -66,7 +77,16 @@ def test_explain_unknown_rule_exits_two(capsys):
     with pytest.raises(SystemExit) as excinfo:
         main(["lint", "--explain", "XX999"])
     assert excinfo.value.code == 2
-    assert "unknown rule" in capsys.readouterr().err
+    err = capsys.readouterr().err
+    assert "unknown rule" in err
+    assert err.count("\n") == 1  # one-line error
+
+
+def test_explain_all_lists_every_rule(capsys):
+    assert main(["lint", "--explain", "all"]) == 0
+    out = capsys.readouterr().out
+    for code in RULES:
+        assert code in out
 
 
 def test_internal_error_exits_two(capsys, monkeypatch):
@@ -90,7 +110,7 @@ def test_internal_error_exits_two(capsys, monkeypatch):
 def test_docs_catalogue_matches_registry():
     with open(DOCS, encoding="utf-8") as handle:
         text = handle.read()
-    documented = set(re.findall(r"\b((?:FP|ND|PC)\d{3})\b", text))
+    documented = set(re.findall(r"\b((?:FP|ND|PC|AS|MC)\d{3})\b", text))
     assert documented == set(RULES)
 
 

@@ -1,0 +1,99 @@
+"""Mirror-coverage pass tests: exact rule codes and line numbers against
+the seeded violations in ``tests/fixtures/lintpkg/mirrormod.py``."""
+
+import os
+
+from repro.analysis.lint.mirrors import check_module, scan_sources
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+PKG_ROOT = os.path.join(FIXTURES, "lintpkg")
+
+#: (rule, line) for every seeded violation in mirrormod.py, in file order.
+EXPECTED = [
+    ("MC401", 9),    # _orphan allocated with no declaration
+    ("MC402", 12),   # _stale declares unknown source Machine.gone
+    ("MC403", 14),   # _lim declared but _refresh never writes it
+    ("MC405", 16),   # _ghost declared but never allocated
+    ("MC404", 24),   # poke() writes _occ outside the refresh method
+]
+
+
+def fixture_findings():
+    return check_module(PKG_ROOT, "mirrormod.py", ("mirrorsrc.py",))
+
+
+def test_mirror_fixture_exact_findings():
+    got = [(f.rule, f.line) for f in fixture_findings()]
+    assert got == EXPECTED
+
+
+def test_well_formed_mirror_is_clean():
+    # _occ: declared, source resolves, refreshed, only _refresh writes it
+    assert not any(f.line == 11 for f in fixture_findings())
+
+
+def clean_module():
+    return (
+        "import numpy as np\n"
+        "class Batch:\n"
+        "    def __init__(self, n):\n"
+        "        # repro: mirror[_occ <- Machine.occ]\n"
+        "        self._occ = np.zeros(n)\n"
+        "    def _refresh(self, ms):  # repro: mirror-refresh\n"
+        "        for i, m in enumerate(ms):\n"
+        "            self._occ[i] = m.occ\n")
+
+
+SCALAR = ("class Machine:\n"
+          "    def __init__(self):\n"
+          "        self.occ = 0\n")
+
+
+def test_clean_module_has_no_findings():
+    assert scan_sources("b.py", clean_module(), {"s.py": SCALAR}) == []
+
+
+def test_deleting_a_declaration_fails_closed():
+    # strip the declaration comment: the allocation becomes MC401
+    broken = clean_module().replace(
+        "        # repro: mirror[_occ <- Machine.occ]\n", "")
+    findings = scan_sources("b.py", broken, {"s.py": SCALAR})
+    assert [f.rule for f in findings] == ["MC401"]
+
+
+def test_renaming_the_scalar_field_fails_closed():
+    # the drift catcher: scalar rename with a stale declaration -> MC402
+    renamed = SCALAR.replace("self.occ", "self.occupancy")
+    findings = scan_sources("b.py", clean_module(), {"s.py": renamed})
+    assert [f.rule for f in findings] == ["MC402"]
+
+
+def test_missing_refresh_marker_is_mc406():
+    unmarked = clean_module().replace("  # repro: mirror-refresh", "")
+    findings = scan_sources("b.py", unmarked, {"s.py": SCALAR})
+    assert [f.rule for f in findings] == ["MC406"]
+    assert "mirror-refresh" in findings[0].message
+
+
+def test_two_refresh_markers_are_mc406():
+    doubled = clean_module() + (
+        "    def _refresh2(self, ms):  # repro: mirror-refresh\n"
+        "        pass\n")
+    findings = scan_sources("b.py", doubled, {"s.py": SCALAR})
+    assert [f.rule for f in findings] == ["MC406"]
+
+
+def test_multi_source_declaration_checks_every_source():
+    multi = clean_module().replace(
+        "mirror[_occ <- Machine.occ]",
+        "mirror[_occ <- Machine.occ, Machine.gone]")
+    findings = scan_sources("b.py", multi, {"s.py": SCALAR})
+    assert [f.rule for f in findings] == ["MC402"]
+    assert "Machine.gone" in findings[0].message
+
+
+def test_class_without_mirrors_is_ignored():
+    src = ("class Plain:\n"
+           "    def __init__(self):\n"
+           "        self.x = 1\n")
+    assert scan_sources("p.py", src, {"s.py": SCALAR}) == []

@@ -1,6 +1,8 @@
-"""Self-check: the three lint passes over the real ``repro`` tree, the
+"""Self-check: the five lint passes over the real ``repro`` tree, the
 fail-closed directions from the sweep cache's point of view, and the
 graph fingerprint mode."""
+
+import re
 
 import os
 import shutil
@@ -37,10 +39,16 @@ def test_determinism_scope_is_the_cached_code():
     assert {"pipeline/processor.py", "workloads/generator.py",
             "core/hill_climbing.py", "experiments/parallel.py",
             "reliability/guard.py"} <= scope
+    # ... plus the service tier's result-path files ...
+    assert set(engine.SERVICE_RESULT_PATH) <= scope
     # ... and code that never feeds a cached result is not policed
     assert "cli.py" not in scope
     assert "analysis/hill_width.py" not in scope
     assert "reliability/faults.py" not in scope
+    # documented exclusions: latency IS the loadtest's output, and the
+    # service __init__ is docstring-only
+    assert "service/loadtest.py" not in scope
+    assert "service/__init__.py" not in scope
 
 
 def test_deleting_a_policy_source_fails_the_audit(monkeypatch):
@@ -71,6 +79,89 @@ def test_new_unlisted_import_fails_the_audit(tmp_path):
     findings = engine.PASSES["fingerprints"](copy_root, graph)
     assert any(f.rule == "FP001" and f.path == "core/offline.py"
                and "dcra.py" in f.message for f in findings)
+
+
+# ----------------------------------------------------------------------
+# Fail-closed directions for the new passes (copy the tree, break the
+# contract one way, require a finding)
+# ----------------------------------------------------------------------
+
+
+def _doctored_tree(tmp_path, rel, transform):
+    copy_root = str(tmp_path / "repro")
+    shutil.copytree(engine.package_root(), copy_root)
+    target = os.path.join(copy_root, rel)
+    with open(target, encoding="utf-8") as handle:
+        source = handle.read()
+    doctored = transform(source)
+    assert doctored != source, "transform matched nothing"
+    with open(target, "w", encoding="utf-8") as handle:
+        handle.write(doctored)
+    return copy_root
+
+
+def test_real_tree_declares_every_mirror():
+    with open(os.path.join(engine.package_root(), engine.MIRROR_MODULE),
+              encoding="utf-8") as handle:
+        source = handle.read()
+    declared = re.findall(r"#\s*repro:\s*mirror\[\s*(\w+)", source)
+    # the 13 SoA arrays of BatchCore, one declaration each
+    assert len(declared) == 13
+    assert len(set(declared)) == 13
+
+
+def test_deleting_any_mirror_declaration_fails_closed(tmp_path):
+    source_path = os.path.join(engine.package_root(), engine.MIRROR_MODULE)
+    with open(source_path, encoding="utf-8") as handle:
+        decl_lines = [line for line in handle.read().splitlines()
+                      if re.search(r"#\s*repro:\s*mirror\[", line)]
+    # drop each declaration in turn: every deletion must be caught
+    for decl in decl_lines:
+        copy_root = str(tmp_path / ("repro-" + str(decl_lines.index(decl))))
+        shutil.copytree(engine.package_root(), copy_root)
+        target = os.path.join(copy_root, engine.MIRROR_MODULE)
+        with open(target, encoding="utf-8") as handle:
+            doctored = handle.read().replace(decl + "\n", "")
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(doctored)
+        graph = build_graph(copy_root, "repro")
+        findings = engine.PASSES["mirrors"](copy_root, graph)
+        assert any(f.rule == "MC401" for f in findings), decl
+
+
+def test_removing_an_async_waiver_fails_closed(tmp_path):
+    copy_root = _doctored_tree(
+        tmp_path, "service/server.py",
+        lambda src: src.replace(
+            "  # repro: allow-async[AS301] bounded local journal append",
+            "", 1))
+    graph = build_graph(copy_root, "repro")
+    findings = engine.PASSES["async"](copy_root, graph)
+    assert any(f.rule == "AS301" and f.path == "service/server.py"
+               and "_journal" in f.message for f in findings)
+
+
+def test_unwaived_sleep_in_a_coroutine_fails_closed(tmp_path):
+    copy_root = _doctored_tree(
+        tmp_path, "service/server.py",
+        lambda src: src.replace(
+            "    async def _tick_loop(self):\n",
+            "    async def _tick_loop(self):\n        time.sleep(1)\n", 1))
+    graph = build_graph(copy_root, "repro")
+    findings = engine.PASSES["async"](copy_root, graph)
+    assert any(f.rule == "AS301" and "_tick_loop" in f.message
+               for f in findings)
+
+
+def test_stripping_a_waiver_justification_fails_closed(tmp_path):
+    copy_root = _doctored_tree(
+        tmp_path, "service/server.py",
+        lambda src: src.replace(
+            "# repro: allow-async[AS301] bounded local journal append",
+            "# repro: allow-async[AS301]", 1))
+    graph = build_graph(copy_root, "repro")
+    findings = engine.PASSES["async"](copy_root, graph)
+    assert any(f.rule == "AS304" for f in findings)
 
 
 # ----------------------------------------------------------------------
