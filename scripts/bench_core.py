@@ -15,14 +15,18 @@ Two modes:
     minutes on the paper machine config.
 
 ``python scripts/bench_core.py --check``
-    CI smoke, two legs.  First one MEM-heavy Figure 4 cell (art-mcf
+    CI smoke, three legs.  First one MEM-heavy Figure 4 cell (art-mcf
     under FLUSH) at the stress latency on a trimmed window, asserting
     the fast core's KIPS is at least the reference core's — that cell's
     true speedup is ~2x, so the >= 1.0 gate has a wide margin against
     CI-runner noise.  Then a four-cell MEM2 grid through all three
     lanes, asserting the lanes stayed byte-identical (bench_grid raises
     otherwise) and the batched pack's aggregate KIPS is at least the
-    hermetic fast lane's.  Exits 1 with a diagnostic on failure.
+    hermetic fast lane's.  Finally the same grid as one *supervised*
+    pack (the PackSupervisor path of ``repro sweep --batch-cells``),
+    asserting supervision overhead does not surrender the pack's
+    throughput win over hermetic fast.  Exits 1 with a diagnostic on
+    failure.
 """
 
 import argparse
@@ -82,7 +86,58 @@ def run_check(epochs, warmup):
         return 1
     print("[bench] OK: batched-lane speedup %.2fx"
           % batched["speedup_vs_fast"])
+    # Leg three: the same grid through the supervised batched lane (the
+    # PackSupervisor path `repro sweep --batch-cells` now always takes).
+    # Supervision must not eat the pack's throughput win.
+    supervised = supervised_batched_kips(epochs=epochs, warmup=warmup)
+    print("[bench] grid (%d cells): supervised-batched %.1f KIPS"
+          % (grid["cells"], supervised["kips"]))
+    if supervised["committed"] != batched["committed"]:
+        print("error: supervised-batched lane disagrees on simulated "
+              "work: %d committed vs %d"
+              % (supervised["committed"], batched["committed"]),
+              file=sys.stderr)
+        return 1
+    if supervised["kips"] < fast_lane["kips"]:
+        print("error: supervised-batched lane slower than hermetic fast "
+              "(%.1f < %.1f aggregate KIPS) on the MEM2 smoke grid"
+              % (supervised["kips"], fast_lane["kips"]), file=sys.stderr)
+        return 1
+    print("[bench] OK: supervised-batched keeps the pack win "
+          "(%.2fx the hermetic fast lane)"
+          % (supervised["kips"] / fast_lane["kips"]))
     return 0
+
+
+def supervised_batched_kips(epochs, warmup):
+    """Aggregate KIPS for the CI grid under a supervised one-pack sweep.
+
+    Mirrors bench_grid's batched lane, but through SweepEngine with
+    supervision on (jobs=1, no timeout: the in-process PackSupervisor
+    path), cache off so every cell simulates.
+    """
+    import time
+
+    from repro.experiments.parallel import SweepEngine, grid_cells
+    from repro.experiments.profiling import _bench_scale
+    from repro.experiments.runner import ExperimentScale, clear_solo_cache
+    from repro.reliability.supervisor import Supervision
+
+    base = ExperimentScale.full()
+    scale = _bench_scale(base, base.config.mem_latency, epochs, warmup)
+    cells = grid_cells(groups=("MEM2",), policies=("ICOUNT", "FLUSH"),
+                       workloads_per_group=2)
+    engine = SweepEngine(scale, jobs=1, use_cache=False,
+                         supervision=Supervision(seed=scale.seed),
+                         batch_cells=len(cells))
+    clear_solo_cache()
+    start = time.perf_counter()  # repro: allow-nondeterminism[ND101] (throughput measurement, not results)
+    results = engine.run_cells(cells)
+    wall = time.perf_counter() - start  # repro: allow-nondeterminism[ND101] (throughput measurement, not results)
+    clear_solo_cache()
+    committed = sum(sum(result.committed) for result in results)
+    return {"wall_s": wall, "committed": committed,
+            "kips": committed / 1000.0 / wall if wall > 0 else 0.0}
 
 
 def run_full(out, epochs, warmup):

@@ -402,6 +402,12 @@ _EVENT_RENDERERS = {
     "sweep-degraded": lambda r: (
         "[sweep] degrading to in-process serial execution: %s"
         % r["reason"]),
+    "pack-bisect": lambda r: (
+        "[sweep] pack of %d cells failed (%s); bisecting into %d + %d"
+        % (r["cells"], r["error"], r["left"], r["right"])),
+    "cell-evicted": lambda r: (
+        "[sweep] evicted %s from its pack to the scalar lane (%s)"
+        % (r["cell"], r["reason"])),
 }
 
 #: Renderers for the service-tier events (``SERVICE_EVENTS`` in
@@ -446,6 +452,7 @@ def cmd_sweep(args):
         grid_cells,
         merged_json,
     )
+    from repro.reliability.packsup import audit_mode, validate_batch_cells
     from repro.reliability.supervisor import (
         CellBootstrapError,
         Supervision,
@@ -457,18 +464,14 @@ def cmd_sweep(args):
         _fail("--cell-timeout must be a positive number of seconds")
     if args.max_attempts < 1:
         _fail("--max-attempts must be >= 1")
-    if args.batch_cells < 1:
-        _fail("--batch-cells must be >= 1")
-    if args.batch_cells > 1:
-        # Packed cells carry no per-cell heartbeat/retry or mid-run
-        # checkpoint machinery; batching therefore replaces supervision
-        # and is incompatible with resumable sweeps (docs/PERFORMANCE.md).
-        if args.resume_dir is not None:
-            _fail("--batch-cells is incompatible with --resume-dir "
-                  "(packed cells do not checkpoint mid-run)")
-        if args.cell_timeout is not None:
-            _fail("--batch-cells is incompatible with --cell-timeout "
-                  "(packed cells run unsupervised)")
+    try:
+        # Packed sweeps are supervised: --batch-cells now composes with
+        # --resume-dir and --cell-timeout (docs/RELIABILITY.md,
+        # "Batched-lane supervision").
+        validate_batch_cells(args.batch_cells)
+        audit = args.audit_mirrors or audit_mode() == "mirror"
+    except ValueError as exc:
+        _fail(str(exc))
     groups = list(args.groups or [])
     policies = list(args.policies or [])
     if args.preset is not None:
@@ -492,12 +495,13 @@ def cmd_sweep(args):
         scale, jobs=args.jobs, cache_dir=args.cache_dir,
         events_path=args.events, resume_dir=args.resume_dir,
         use_cache=not args.no_cache,
-        supervision=None if args.batch_cells > 1 else Supervision(
+        supervision=Supervision(
             cell_timeout=args.cell_timeout,
             max_attempts=args.max_attempts,
             degrade=not args.no_degrade,
             seed=scale.seed),
         batch_cells=args.batch_cells,
+        audit_mirrors=audit,
         on_event=None if args.quiet else _print_sweep_event)
     try:
         results = engine.run_cells(cells)
@@ -578,11 +582,14 @@ def cmd_chaos(args):
         max_attempts=args.max_attempts, degrade=not args.no_degrade,
         keep=args.keep, work_dir=args.work_dir,
         log=None if args.quiet else (lambda msg: print("[chaos] %s" % msg)))
-    print("[chaos] preset=%s cells=%d retries=%d timeouts=%d "
-          "pool_breaks=%d degraded=%s resumed=%d"
-          % (report["preset"], len(report["cells"]), report["retries"],
+    print("[chaos] preset=%s cells=%d batch_cells=%d retries=%d "
+          "timeouts=%d pool_breaks=%d degraded=%s bisections=%d "
+          "evicted=%d resumed=%d"
+          % (report["preset"], len(report["cells"]),
+             report["batch_cells"], report["retries"],
              report["timeouts"], report["pool_breaks"],
-             report["degraded"], report["resumed"]))
+             report["degraded"], report["bisections"],
+             report["evicted"], report["resumed"]))
     print("[chaos] quarantined: %d (expected %d)%s"
           % (len(report["quarantined"]), report["expected_quarantined"],
              " — " + ", ".join(report["quarantined"])
@@ -704,12 +711,15 @@ def cmd_serve(args):
 
 
 def cmd_worker(args):
+    from repro.reliability.packsup import validate_batch_cells
     from repro.service.worker import run_worker
 
     if args.poll_interval <= 0:
         _fail("--poll-interval must be a positive number of seconds")
-    if args.batch_cells < 1:
-        _fail("--batch-cells must be >= 1")
+    try:
+        validate_batch_cells(args.batch_cells)
+    except ValueError as exc:
+        _fail(str(exc))
     try:
         summary = run_worker(
             args.server, poll_interval=args.poll_interval,
@@ -964,9 +974,15 @@ def build_parser():
     sub.add_argument("--batch-cells", type=int, default=1, metavar="N",
                      help="pack up to N cells per process through the "
                           "batched core lane (byte-identical results, "
-                          "shared replay tapes + SingleIPC runs); "
-                          "incompatible with --resume-dir and "
-                          "--cell-timeout (default: 1 = per-cell)")
+                          "shared replay tapes + SingleIPC runs); packs "
+                          "run supervised, so --resume-dir and "
+                          "--cell-timeout compose with batching "
+                          "(default: 1 = per-cell)")
+    sub.add_argument("--audit-mirrors", action="store_true",
+                     help="cross-check the batched core's SoA mirrors "
+                          "against scalar state at every epoch boundary "
+                          "and evict divergent cells to the scalar lane "
+                          "(also: REPRO_AUDIT=mirror)")
     sub.add_argument("--quiet", action="store_true",
                      help="suppress live progress lines")
     _add_scale_args(sub)
@@ -978,8 +994,10 @@ def build_parser():
              "worker kills/hangs/corruption and verify convergence")
     sub.add_argument("--preset", default="kill-one-worker",
                      choices=("corrupt-result", "flaky-cells",
-                              "hang-one-cell", "kill-one-worker",
-                              "kill-storm", "kill-worker", "poison-cell",
+                              "hang-one-cell", "hang-pack",
+                              "kill-one-worker", "kill-storm",
+                              "kill-worker", "mirror-corrupt",
+                              "poison-cell", "poison-pack-cell",
                               "queue-flood", "slow-client",
                               "split-result", "worker-storm"),
                      help="fault scenario: pool presets (see repro."

@@ -27,11 +27,18 @@ requests into those processors and back into byte-identical
   computes each (benchmark, config, seed) solo once instead of once per
   cell — in a fig4-style grid the dominant share of per-cell cost.
 
-Fallback rules (docs/PERFORMANCE.md): packs carry no mid-run
-checkpointing and no fault injection — divergence-risk cells (an
-existing checkpoint to resume, a chaos plan, supervision) take the
-per-cell resilient path instead, which the sweep engine and service
-worker enforce by construction.  Results never depend on pack
+Supervision hooks (docs/RELIABILITY.md "Batched-lane supervision"):
+:func:`run_pack` optionally checkpoints every cell per epoch through
+the PR 1 :class:`~repro.reliability.guard.RunStore` (``run_dirs``),
+touches per-pack and per-cell heartbeat files (``heartbeat`` /
+``cell_heartbeats``), drives a chaos ``fault_plan``'s hooks at the same
+points as the per-cell worker, and — under ``audit=True`` or
+``REPRO_AUDIT=mirror`` — cross-checks the BatchCore SoA mirrors against
+scalar processor state at every epoch boundary, evicting divergent
+cells (their result slot is ``None``; the pack supervisor finishes them
+on the scalar lane from their last good checkpoint).  Cells with an
+existing checkpoint to *resume* still take the per-cell resilient path:
+packs always start cells from epoch 0.  Results never depend on pack
 composition: the equivalence suite packs all eleven policy families and
 compares against serial runs byte for byte.
 """
@@ -39,8 +46,9 @@ compares against serial runs byte for byte.
 from repro.core.controller import EpochController
 from repro.experiments.parallel import policy_factory
 from repro.experiments.runner import RunResult, solo_ipcs
-from repro.pipeline.batched import BatchCore
+from repro.pipeline.batched import BatchCore, audit_mirrors
 from repro.pipeline.processor import SMTProcessor
+from repro.reliability.packsup import touch_heartbeat, validate_batch_cells
 from repro.reliability.supervisor import CellBootstrapError
 from repro.workloads.generator import Instruction, SyntheticStream
 from repro.workloads.mixes import get_workload
@@ -173,7 +181,8 @@ class _CellState:
     """Per-cell bookkeeping while a pack is in flight."""
 
     __slots__ = ("cell", "workload", "seeded", "proc", "controller",
-                 "streams", "remaining", "pending")
+                 "streams", "remaining", "pending", "store", "heartbeat",
+                 "evicted")
 
     def __init__(self, cell, workload, seeded, proc, controller, streams,
                  remaining):
@@ -185,6 +194,13 @@ class _CellState:
         self.streams = streams
         self.remaining = remaining
         self.pending = None
+        self.store = None
+        self.heartbeat = None
+        self.evicted = None
+
+    def release_streams(self):
+        for reader in self.streams:
+            reader.tape.release(reader)
 
 
 def pack_cells(cells, batch_cells):
@@ -195,8 +211,7 @@ def pack_cells(cells, batch_cells):
     order is preserved.  Pack composition never affects results — only
     how much tape sharing a pack enjoys.
     """
-    if batch_cells < 1:
-        raise ValueError("batch_cells must be >= 1")
+    validate_batch_cells(batch_cells)
     cells = list(cells)
     order = sorted(range(len(cells)),
                    key=lambda i: (cells[i].workload, cells[i].seed, i))
@@ -204,7 +219,9 @@ def pack_cells(cells, batch_cells):
             for start in range(0, len(order), batch_cells)]
 
 
-def run_pack(cells, scale, budget=8192):
+def run_pack(cells, scale, budget=8192, attempt=1, fault_plan=None,
+             audit=False, run_dirs=None, heartbeat=None,
+             cell_heartbeats=None):
     """Simulate a pack of sweep cells in lockstep; returns one
     :class:`RunResult` per cell, in the pack's order, byte-identical to
     what :func:`~repro.experiments.runner.run_policy` produces serially.
@@ -215,10 +232,33 @@ def run_pack(cells, scale, budget=8192):
     ``proc.run`` under whatever core is selected, all of which are
     byte-identical.  Construction failures (unknown workload/policy)
     raise :class:`CellBootstrapError` like the per-cell worker.
+
+    Supervised packs pass the 1-based ``attempt``, an optional chaos
+    ``fault_plan`` (hooked at the same points as the per-cell worker:
+    ``before_cell`` before construction, ``on_epoch`` after each
+    epoch's checkpoint/manifest writes, plus the pack-only
+    ``on_pack_refresh`` between mirror refresh and audit), per-cell
+    checkpoint directories (``run_dirs``, aligned with ``cells``,
+    ``None`` entries disable checkpointing for that cell), a per-pack
+    ``heartbeat`` file touched every scheduling round, and per-cell
+    ``cell_heartbeats`` touched once per completed epoch.  With
+    ``audit=True`` the SoA mirrors are re-checked against scalar
+    processor state at every epoch boundary
+    (:func:`~repro.pipeline.batched.audit_mirrors`); a divergent cell
+    is *evicted* — its slot in the returned list is ``None``, its
+    epoch-in-flight is never finished, and its last checkpoint (the
+    previous epoch) stays valid for the scalar lane to resume from.
     """
     cells = list(cells)
     if not cells:
         return []
+    if fault_plan is not None:
+        # Outside the bootstrap-wrapping try on purpose: an injected
+        # poison is a retryable worker crash, not a deterministic
+        # construction failure (mirrors _execute_cell).
+        for cell in cells:
+            fault_plan.before_cell(cell, attempt)
+    on_pack_refresh = getattr(fault_plan, "on_pack_refresh", None)
     deck = TapeDeck()
     states = []
     for cell in cells:
@@ -242,17 +282,43 @@ def run_pack(cells, scale, budget=8192):
             else seeded.epochs
         states.append(_CellState(cell, workload, seeded, proc, None,
                                  streams, remaining))
+    if cell_heartbeats is not None:
+        for state, path in zip(states, cell_heartbeats):
+            state.heartbeat = path
+            if path is not None:
+                touch_heartbeat(path)
+
+    def tick():
+        deck.trim()
+        if heartbeat is not None:
+            touch_heartbeat(heartbeat)
+
+    tick()
     core = BatchCore([state.proc for state in states], budget=budget)
     if scale.warmup:
         core.advance([(index, state.proc.cycle + state.seeded.warmup)
                       for index, state in enumerate(states)],
-                     on_round=deck.trim)
+                     on_round=tick)
     for state in states:
         # Controllers capture their whole-run accounting baseline at
         # construction, so they must be built *after* warmup — exactly
         # where run_policy builds them (make_processor warms first).
         state.controller = EpochController(state.proc,
                                            epoch_size=state.seeded.epoch_size)
+    snapshot = None
+    if run_dirs is not None:
+        # Same ordering as run_policy_resilient: an initial checkpoint
+        # at zero completed epochs, then one per completed epoch, so a
+        # pack killed at any point leaves every cell resumable.
+        from repro.reliability.guard import RunStore, _snapshot_controller
+
+        snapshot = _snapshot_controller
+        for state, run_dir in zip(states, run_dirs):
+            if run_dir is None:
+                continue
+            state.store = RunStore(run_dir)
+            state.store.save_checkpoint(
+                state.controller.epoch_id, snapshot(state.controller))
     active = [index for index, state in enumerate(states)
               if state.remaining > 0]
     while active:
@@ -262,24 +328,65 @@ def run_pack(cells, scale, budget=8192):
             state.pending = state.controller.begin_epoch()
             windows.append((index, state.proc.cycle
                             + state.controller.epoch_size))
-        core.advance(windows, on_round=deck.trim)
+        core.advance(windows, on_round=tick)
+        if on_pack_refresh is not None or audit:
+            # Mirrors are legitimately stale after the final stepping
+            # round (they are exact at *screen* time); re-run the
+            # sanctioned refresh before injecting corruption or
+            # auditing, so a clean run can never "diverge".
+            core._refresh(active)
+            if on_pack_refresh is not None:
+                epoch = states[active[0]].controller.epoch_id + 1
+                for index in active:
+                    on_pack_refresh(states[index].cell, attempt, epoch,
+                                    core, index)
+            if audit:
+                diverged = audit_mirrors(core, active)
+                if diverged:
+                    for index in sorted(diverged):
+                        state = states[index]
+                        state.evicted = diverged[index]
+                        state.pending = None
+                        state.release_streams()
+                    active = [index for index in active
+                              if index not in diverged]
         still = []
         for index in active:
             state = states[index]
-            state.controller.finish_epoch(*state.pending)
+            result = state.controller.finish_epoch(*state.pending)
             state.pending = None
             state.remaining -= 1
+            if state.store is not None:
+                state.store.save_checkpoint(
+                    state.controller.epoch_id,
+                    snapshot(state.controller))
+                state.store.append_manifest({
+                    "epoch_id": result.epoch_id,
+                    "kind": result.kind,
+                    "committed": list(result.committed),
+                    "cycles": result.cycles,
+                    "ipcs": list(result.ipcs),
+                    "shares": result.shares,
+                    "solo_thread": result.solo_thread,
+                })
+            if state.heartbeat is not None:
+                touch_heartbeat(state.heartbeat)
+            if fault_plan is not None:
+                fault_plan.on_epoch(state.cell, attempt,
+                                    state.controller.epoch_id)
             if state.remaining > 0:
                 still.append(index)
             else:
-                for reader in state.streams:
-                    reader.tape.release(reader)
+                state.release_streams()
         deck.trim()
         active = still
     results = []
     for state in states:
+        if state.evicted is not None:
+            results.append(None)
+            continue
         committed, cycles = state.controller.totals()
-        results.append(RunResult(
+        result = RunResult(
             workload=state.workload.name,
             policy=state.proc.policy.name,
             ipcs=state.controller.overall_ipcs(),
@@ -287,14 +394,21 @@ def run_pack(cells, scale, budget=8192):
             cycles=cycles,
             single_ipcs=solo_ipcs(state.workload, state.seeded),
             epoch_history=state.controller.history,
-        ))
+        )
+        if state.store is not None:
+            state.store.save_result(result)
+        if fault_plan is not None:
+            result = fault_plan.transform_result(state.cell, attempt, result)
+        results.append(result)
     return results
 
 
-def _execute_pack(cells, scale):
+def _execute_pack(cells, scale, audit=False):
     """Pool-friendly pack worker: ``[(RunResult, resumed), ...]`` with
     the same per-cell payload shape as
     :func:`~repro.experiments.parallel._execute_cell` (packed cells are
-    never resumed — the fallback rules route resumable cells to the
-    per-cell path)."""
-    return [(result, False) for result in run_pack(cells, scale)]
+    never resumed — packs always start cells from epoch 0, so resumable
+    cells take the per-cell path).  Audit-evicted slots stay ``None``.
+    """
+    return [None if result is None else (result, False)
+            for result in run_pack(cells, scale, audit=audit)]

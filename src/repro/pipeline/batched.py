@@ -38,7 +38,7 @@ try:
 except ImportError:  # pragma: no cover - the container ships numpy
     _np = None
 
-__all__ = ["HAVE_NUMPY", "BatchCore", "step_window"]
+__all__ = ["HAVE_NUMPY", "BatchCore", "audit_mirrors", "step_window"]
 
 #: Whether the optional numpy dependency is importable; the batched lane
 #: refuses to construct without it, everything else ignores it.
@@ -93,6 +93,73 @@ def step_window(proc, end, budget):
         proc.cycle = cycle + 1
         stats.cycles += 1
     return spent
+
+
+def audit_mirrors(core, indices):
+    """Runtime cross-check of a :class:`BatchCore`'s SoA mirrors against
+    the scalar processor state they shadow — the dynamic counterpart of
+    lint's static MC4xx mirror-coverage pass (``REPRO_AUDIT=mirror`` /
+    ``repro sweep --audit-mirrors``).
+
+    Strictly read-only: it recomputes each mirror's scalar truth
+    independently (the same expressions ``BatchCore._refresh`` uses) and
+    compares, mutating neither the arrays nor the processors, so running
+    it cannot change stats, checkpoints or cache keys.  Callers must
+    refresh the mirrors first — they are only exact at screen time — and
+    the pack layer does exactly that at every epoch boundary before
+    auditing.  Returns ``{index: "mirror, mirror, ..."}`` naming the
+    divergent mirrors per diverged cell (empty when all is well); the
+    pack supervisor evicts diverged cells to the scalar lane.
+    """
+    diverged = {}
+    for index in indices:
+        proc = core.procs[index]
+        bad = []
+        if core._cycle[index] != proc.cycle:
+            bad.append("_cycle")
+        if bool(core._ready_empty[index]) != (not proc._ready):
+            bad.append("_ready_empty")
+        if bool(core._ifq_space[index]) != (proc.ifq_total
+                                            < proc.config.ifq_size):
+            bad.append("_ifq_space")
+        head = _NEVER
+        if proc._completions:
+            head = proc._completions[0][0]
+        if proc._detections and proc._detections[0][0] < head:
+            head = proc._detections[0][0]
+        if core._event_head[index] != head:
+            bad.append("_event_head")
+        enabled = proc.enabled
+        partitions = proc.partitions
+        limit_ren = partitions.limit_int_rename
+        limit_iq = partitions.limit_int_iq
+        limit_rob = partitions.limit_rob
+        for thread in proc.threads:
+            tid = thread.tid
+            for name, mirrored, truth in (
+                    ("_enabled", bool(core._enabled[index, tid]),
+                     tid in enabled),
+                    ("_locked", bool(core._locked[index, tid]),
+                     thread.policy_locked),
+                    ("_blocked_until", int(core._blocked_until[index, tid]),
+                     thread.fetch_blocked_until),
+                    ("_occ_ren", int(core._occ_ren[index, tid]),
+                     thread.ren_int),
+                    ("_occ_iq", int(core._occ_iq[index, tid]),
+                     thread.iq_int),
+                    ("_occ_rob", int(core._occ_rob[index, tid]),
+                     len(thread.rob)),
+                    ("_lim_ren", int(core._lim_ren[index, tid]),
+                     limit_ren[tid]),
+                    ("_lim_iq", int(core._lim_iq[index, tid]),
+                     limit_iq[tid]),
+                    ("_lim_rob", int(core._lim_rob[index, tid]),
+                     limit_rob[tid])):
+                if mirrored != truth:
+                    bad.append("%s[t%d]" % (name, tid))
+        if bad:
+            diverged[index] = ", ".join(bad)
+    return diverged
 
 
 class BatchCore:

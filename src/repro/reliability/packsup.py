@@ -1,0 +1,467 @@
+"""Pack-level supervision for the batched sweep lane.
+
+:mod:`repro.reliability.supervisor` contains failures at *cell*
+granularity: one worker, one cell, one heartbeat.  The batched lane
+(``repro sweep --batch-cells N``) deliberately breaks that shape — many
+cells share one process, one lockstep and one set of replay tapes — so a
+single poisoned or hung cell used to be able to take its whole pack's
+work with it, which is why packs were previously rejected alongside
+supervision.  This module supplies the missing containment layer:
+
+* **pack heartbeats** — the pack worker touches one per-pack heartbeat
+  file (plus the ordinary per-cell files) every completed epoch; a pack
+  whose heartbeat goes stale for longer than ``cell_timeout`` is
+  declared hung and its worker generation killed;
+* **deterministic bisection** — a failed or hung multi-cell pack is
+  never charged to anyone: it is split in half (first ``ceil(n/2)``
+  cells, then the rest — a pure function of the pack order) and both
+  halves re-run from the shared tapes.  Repeating the split isolates
+  the truly poisonous cell in at most ``ceil(log2 n)`` levels while
+  every innocent cell's results land; only the isolated single-cell
+  pack is charged an attempt;
+* **eviction to the scalar lane** — a charged-but-retryable cell, and
+  any cell the runtime mirror audit flags as divergence-risk, leaves
+  the pack queue for the ordinary per-cell supervised path
+  (``deferred`` / ``evicted``) instead of aborting the sweep;
+* **quarantine** — a cell that exhausts ``max_attempts`` lands in the
+  same append-only ``quarantine.jsonl`` ledger the per-cell supervisor
+  uses, and the sweep continues.
+
+The module also owns the runtime mirror-audit switch
+(``REPRO_AUDIT=mirror`` / :class:`forced_audit`): the dynamic
+counterpart of lint's static MC4xx mirror-coverage pass.  The audit
+itself lives in :func:`repro.pipeline.batched.audit_mirrors` (it needs
+the SoA arrays); this module only decides whether it runs, because the
+decision must be importable from stdlib-only paths (the CLI, the
+service daemon) without touching numpy.
+
+Like the cell supervisor, this module is deliberately stdlib-only: it
+sits inside the sweep cache's code-fingerprint closure
+(``_CORE_SOURCES``), and supervision changes how results are
+*produced*, never what they are — ``repro chaos`` proves every batched
+preset converges byte-identically to a fault-free serial reference.
+"""
+
+import os
+import time
+from collections import deque
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, wait
+
+from repro.reliability.supervisor import (
+    SWEEP_EVENTS,
+    CellBootstrapError,
+    SweepAborted,
+    _describe_error,
+    _touch,
+)
+
+__all__ = [
+    "AUDIT_MODES",
+    "PackSupervisor",
+    "audit_mode",
+    "forced_audit",
+    "touch_heartbeat",
+    "validate_batch_cells",
+]
+
+# ----------------------------------------------------------------------
+# Runtime audit selection (mirrors fastpath's core selection)
+# ----------------------------------------------------------------------
+
+#: Valid runtime-audit selections: ``off`` (default) and ``mirror``
+#: (cross-check the BatchCore SoA mirrors against scalar processor
+#: state at every epoch boundary; divergent cells are evicted to the
+#: scalar lane).
+AUDIT_MODES = ("off", "mirror")
+
+_forced_audit = None
+
+
+def audit_mode():
+    """The runtime-audit selection for the next batched run.
+
+    Raises :class:`ValueError` for unknown ``REPRO_AUDIT`` values (the
+    CLI converts this into its standard one-line exit-2 error).  Like
+    ``REPRO_CORE``, the selection is never stored on the processor:
+    checkpoints and sweep cache keys are unchanged by auditing.
+    """
+    if _forced_audit is not None:
+        return _forced_audit
+    mode = os.environ.get("REPRO_AUDIT", "off")
+    if mode not in AUDIT_MODES:
+        raise ValueError(
+            "REPRO_AUDIT must be one of %s, got %r"
+            % ("/".join(AUDIT_MODES), mode))
+    return mode
+
+
+class forced_audit:
+    """Context manager pinning the runtime-audit selection for this
+    process.  Takes precedence over ``REPRO_AUDIT`` and nests, exactly
+    like :class:`repro.pipeline.fastpath.forced_core`."""
+
+    def __init__(self, mode):
+        if mode not in AUDIT_MODES:
+            raise ValueError(
+                "audit mode must be one of %s, got %r"
+                % ("/".join(AUDIT_MODES), mode))
+        self.mode = mode
+        self._previous = None
+
+    def __enter__(self):
+        global _forced_audit
+        self._previous = _forced_audit
+        _forced_audit = self.mode
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        global _forced_audit
+        _forced_audit = self._previous
+        return False
+
+
+# ----------------------------------------------------------------------
+# Shared validation and heartbeat helpers
+# ----------------------------------------------------------------------
+
+
+def validate_batch_cells(batch_cells):
+    """The single authoritative ``batch_cells`` validation.
+
+    Every layer that accepts the knob (CLI, sweep engine, service
+    worker, :func:`repro.experiments.batchrun.pack_cells`) funnels
+    through here, so a bad value produces one consistent
+    :class:`ValueError` message everywhere.  Returns the value.
+    """
+    if isinstance(batch_cells, bool) or not isinstance(batch_cells, int):
+        raise ValueError(
+            "batch_cells must be an integer >= 1 (got %r)" % (batch_cells,))
+    if batch_cells < 1:
+        raise ValueError(
+            "batch_cells must be an integer >= 1 (got %r)" % (batch_cells,))
+    return batch_cells
+
+
+def touch_heartbeat(path):
+    """Create-or-touch one heartbeat file; never raises (a full disk
+    must not turn a healthy pack into a 'hung' one mid-run)."""
+    _touch(path)
+
+
+# ----------------------------------------------------------------------
+# The pack supervisor
+# ----------------------------------------------------------------------
+
+
+class PackSupervisor:
+    """Runs cell packs to completion under heartbeat timeouts,
+    deterministic bisection, eviction and quarantine.
+
+    The supervisor knows nothing about simulations; the engine supplies:
+
+    ``worker``
+        Picklable top-level function executed per pack attempt; must
+        return a list with one payload per pack cell, where ``None``
+        marks a cell the runtime mirror audit evicted.
+    ``pack_args(pack, attempt)``
+        Positional argument tuple for one attempt (1-based) of a pack.
+    ``item_key(cell)`` / ``item_label(cell)``
+        Stable string key (lands in the ledger) and human-readable
+        label for events.
+    ``pack_heartbeat(pack)``
+        Heartbeat file for a pack, or ``None`` to skip timeout
+        tracking.  The pack worker must touch it every epoch.
+    ``validate(cell, value)`` / ``on_result(cell, value, running)`` /
+    ``emit(event, **fields)`` / ``ledger`` / ``ledger_info(cell)``
+        Exactly as for :class:`~repro.reliability.supervisor.CellSupervisor`.
+
+    Packs execute one at a time: in-process when ``jobs == 1`` and no
+    timeout is configured, otherwise through a single-worker process
+    pool the supervisor can kill when a pack's heartbeat goes stale.
+    Any pack failure — exception, stale heartbeat, broken pool — is
+    contained by one uniform rule: a multi-cell pack is *bisected*
+    (both halves requeued at the front, first half first, nobody
+    charged), a single-cell pack is *charged* (retryable cells land in
+    ``deferred`` for the engine's scalar lane; exhausted cells are
+    quarantined).  Because the halves re-run from the shared tapes with
+    identical seeds, the split sequence — and therefore which cell ends
+    up charged — is a pure function of the pack order and the fault.
+
+    After :meth:`run`: ``quarantined`` maps given-up cells to their
+    ledger entries; ``deferred`` and ``evicted`` list cells the engine
+    must finish on the per-cell path; ``attempts``, ``failures``,
+    ``retries``, ``timeouts``, ``pool_breaks``, ``bisections`` and
+    ``degraded`` describe the execution.
+    """
+
+    def __init__(self, worker, pack_args, jobs, config, item_key=str,
+                 item_label=str, pack_heartbeat=None, validate=None,
+                 on_result=None, emit=None, ledger=None, ledger_info=None):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.worker = worker
+        self.pack_args = pack_args
+        self.jobs = jobs
+        self.config = config
+        self.item_key = item_key
+        self.item_label = item_label
+        self.pack_heartbeat = pack_heartbeat
+        self.validate = validate
+        self.on_result = on_result
+        self.emit = emit
+        self.ledger = ledger
+        self.ledger_info = ledger_info
+        self.quarantined = {}
+        self.attempts = {}
+        self.failures = {}
+        self.deferred = []
+        self.evicted = []
+        self.retries = 0
+        self.timeouts = 0
+        self.pool_breaks = 0
+        self.bisections = 0
+        self.degraded = False
+        self._pool = None
+        self._breaks_in_a_row = 0
+
+    # -- small helpers ---------------------------------------------------
+
+    def _emit(self, event, **fields):
+        if event not in SWEEP_EVENTS:
+            raise ValueError("unknown sweep event %r (valid: %s)"
+                             % (event, ", ".join(SWEEP_EVENTS)))
+        if self.emit is not None:
+            self.emit(event, **fields)
+
+    def _label(self, cell):
+        return self.item_label(cell)
+
+    def _use_pool(self):
+        return not self.degraded and (
+            self.jobs > 1 or self.config.cell_timeout is not None)
+
+    def _heartbeat_file(self, pack):
+        if self.pack_heartbeat is None:
+            return None
+        return self.pack_heartbeat(pack)
+
+    def _heartbeat_age(self, path, now_wall):
+        try:
+            return now_wall - os.stat(path).st_mtime
+        except OSError:
+            return 0.0  # no file yet: the submit-time touch races mkdir
+
+    # -- pool lifecycle --------------------------------------------------
+
+    def _open_pool(self):
+        rebuild = self.pool_breaks > 0
+        try:
+            self._pool = ProcessPoolExecutor(max_workers=1)
+        except Exception as exc:
+            self._enter_degraded("cannot %s pack pool: %s"
+                                 % ("rebuild" if rebuild else "build", exc))
+            return
+        if rebuild:
+            self._emit("pool-rebuilt", workers=1)
+
+    def _close_pool(self, kill):
+        pool = self._pool
+        self._pool = None
+        if pool is None:
+            return
+        if kill:
+            for proc in list(getattr(pool, "_processes", {}).values()):
+                try:
+                    proc.kill()
+                except Exception:
+                    pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
+    def _enter_degraded(self, reason):
+        if not self.config.degrade:
+            raise SweepAborted(
+                "%s; degrade-to-serial disabled (--no-degrade)" % reason)
+        self.degraded = True
+        self._emit("sweep-degraded", reason=reason)
+
+    # -- one pack attempt ------------------------------------------------
+
+    def _run_pack_once(self, pack, attempt):
+        """Execute one attempt of one pack.
+
+        Returns ``("ok", payload)`` on completion or ``(status,
+        description)`` on failure, where ``status`` is ``"error"``,
+        ``"timeout"`` or ``"broken"``.  :class:`CellBootstrapError` is
+        deterministic and fatal, so it propagates.
+        """
+        heartbeat = self._heartbeat_file(pack)
+        if heartbeat is not None:
+            touch_heartbeat(heartbeat)
+        args = self.pack_args(pack, attempt)
+        if not self._use_pool():
+            try:
+                return "ok", self.worker(*args)
+            except (KeyboardInterrupt, SystemExit, CellBootstrapError):
+                raise
+            except Exception as exc:
+                return "error", _describe_error(exc)
+        if self._pool is None:
+            self._open_pool()
+            if self._pool is None:
+                return self._run_pack_once(pack, attempt)  # degraded
+        try:
+            future = self._pool.submit(self.worker, *args)
+        except (BrokenExecutor, RuntimeError):
+            self._close_pool(kill=False)
+            self._open_pool()
+            if self._pool is None:
+                return self._run_pack_once(pack, attempt)  # degraded
+            future = self._pool.submit(self.worker, *args)
+        timeout = self.config.cell_timeout
+        while True:
+            done, __ = wait([future], timeout=self.config.poll_interval)
+            if done:
+                try:
+                    return "ok", future.result()
+                except BrokenExecutor as exc:
+                    self.pool_breaks += 1
+                    self._breaks_in_a_row += 1
+                    self._close_pool(kill=False)
+                    self._emit("pool-broken", breaks=self.pool_breaks)
+                    if self._breaks_in_a_row \
+                            >= self.config.degrade_after_breaks:
+                        self._enter_degraded(
+                            "pack pool collapsed %d times without "
+                            "completing a pack" % self._breaks_in_a_row)
+                    return "broken", _describe_error(exc)
+                except (KeyboardInterrupt, SystemExit, CellBootstrapError):
+                    raise
+                except Exception as exc:
+                    return "error", _describe_error(exc)
+            if timeout is not None and heartbeat is not None:
+                now_wall = time.time()  # repro: allow-nondeterminism[ND101] (heartbeat staleness, not results)
+                if self._heartbeat_age(heartbeat, now_wall) > timeout:
+                    # A hung pack cannot be cancelled, only killed —
+                    # and the pool holds nothing else (one pack at a
+                    # time), so no collateral accounting is needed.
+                    self.timeouts += 1
+                    self._close_pool(kill=True)
+                    return ("timeout",
+                            "PackTimeout: pack heartbeat stale for more "
+                            "than %.1fs" % timeout)
+
+    # -- containment -----------------------------------------------------
+
+    def _contain(self, pack, status, description, queue):
+        """Apply the uniform containment rule to a failed pack."""
+        if len(pack) > 1:
+            mid = (len(pack) + 1) // 2
+            left, right = pack[:mid], pack[mid:]
+            self.bisections += 1
+            self._emit("pack-bisect",
+                       cells=len(pack), left=len(left), right=len(right),
+                       error=description.splitlines()[0])
+            queue.appendleft(right)
+            queue.appendleft(left)
+            return
+        cell = pack[0]
+        if status == "timeout":
+            self._emit("cell-timeout", cell=self._label(cell),
+                       attempt=self.attempts[cell] + 1,
+                       timeout_s=self.config.cell_timeout)
+        self._charge(cell, description)
+
+    def _charge(self, cell, description):
+        """Charge one failed attempt to an isolated cell; defer the
+        retry to the engine's scalar lane or quarantine."""
+        self.attempts[cell] += 1
+        self.failures.setdefault(cell, []).append(description)
+        if self.attempts[cell] >= self.config.max_attempts:
+            self._quarantine(cell)
+            return
+        self.retries += 1
+        self._emit("cell-retry", cell=self._label(cell),
+                   attempt=self.attempts[cell] + 1, delay_s=0.0,
+                   error=description.splitlines()[0])
+        self.deferred.append(cell)
+
+    def _quarantine(self, cell):
+        failures = self.failures.get(cell, [])
+        entry = {
+            "cell": self._label(cell),
+            "attempts": self.attempts[cell],
+            "failures": [line.splitlines()[0] for line in failures],
+            "last_error": failures[-1] if failures else "",
+            "quarantined_at": round(time.time(), 3),  # repro: allow-nondeterminism[ND101] (ledger timestamp, not results)
+        }
+        if self.ledger_info is not None:
+            entry.update(self.ledger_info(cell))
+        if self.ledger is not None:
+            self.ledger.record(entry)
+        self.quarantined[cell] = entry
+        self._emit("cell-quarantined", cell=self._label(cell),
+                   attempts=self.attempts[cell],
+                   error=entry["last_error"].splitlines()[0]
+                   if entry["last_error"] else "")
+
+    def _accept(self, pack, payload, results, queue):
+        """Distribute one completed pack's payload slots to the cells."""
+        if not isinstance(payload, (list, tuple)) \
+                or len(payload) != len(pack):
+            self._contain(pack, "error",
+                          "PackPayloadError: pack worker returned %r... "
+                          "instead of %d per-cell payloads"
+                          % (repr(payload)[:60], len(pack)), queue)
+            return
+        self._breaks_in_a_row = 0
+        for cell, value in zip(pack, payload):
+            if value is None:
+                self.evicted.append(cell)
+                self._emit("cell-evicted", cell=self._label(cell),
+                           reason="mirror-divergence")
+                continue
+            try:
+                if self.validate is not None:
+                    self.validate(cell, value)
+            except (KeyboardInterrupt, SystemExit, CellBootstrapError):
+                raise
+            except Exception as exc:
+                self._charge(cell, _describe_error(exc))
+                continue
+            results[cell] = value
+            if self.on_result is not None:
+                self.on_result(cell, value, len(queue))
+
+    # -- entry point -----------------------------------------------------
+
+    def run(self, packs):
+        """Run every pack; returns {cell: value} for the cells that
+        completed *inside a pack*.  Cells in ``deferred``, ``evicted``
+        and ``quarantined`` are absent — the engine finishes the first
+        two on the per-cell path."""
+        queue = deque()
+        for pack in packs:
+            pack = list(pack)
+            if pack:
+                queue.append(pack)
+                for cell in pack:
+                    self.attempts.setdefault(cell, 0)
+        results = {}
+        try:
+            while queue:
+                pack = queue.popleft()
+                attempt = 1 + max(self.attempts[cell] for cell in pack)
+                for cell in pack:
+                    self._emit("cell-start", cell=self._label(cell),
+                               attempt=attempt, running=len(pack))
+                status, outcome = self._run_pack_once(pack, attempt)
+                if status == "ok":
+                    self._accept(pack, outcome, results, queue)
+                else:
+                    self._contain(pack, status, outcome, queue)
+        finally:
+            self._close_pool(kill=False)
+        return results

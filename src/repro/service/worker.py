@@ -14,11 +14,15 @@ simply resolves the cell for whoever holds the lease now.
 With ``--batch-cells N`` the worker leases up to N cells per loop and
 runs the fresh ones as one lockstep pack through the batched core lane
 (:mod:`repro.experiments.batchrun`) — byte-identical results, shared
-replay tapes and SingleIPC runs.  The documented trade: packed cells
-carry no mid-run checkpoints.  Cells that already *have* a checkpoint
-to resume, or are on a retry attempt, keep the per-cell resilient path;
-every leased cell is heartbeated while the pack runs, and results are
-uploaded individually.
+replay tapes and SingleIPC runs.  Cells that already *have* a
+checkpoint to resume, or are on a retry attempt, keep the per-cell
+resilient path; every leased cell is heartbeated while the pack runs,
+and results are uploaded individually.  A pack failure never charges
+its innocent cells: the worker falls back to per-cell execution for
+every packed cell instead of reporting the whole pack failed, and a
+cell evicted by the runtime mirror audit (``REPRO_AUDIT=mirror``)
+reruns on the scalar lane in the same loop (docs/RELIABILITY.md,
+"Batched-lane supervision").
 
 The ``fault`` hook exists for the service chaos presets: e.g.
 ``split-result:2`` makes the first two uploads carry a torn result
@@ -125,8 +129,10 @@ def run_worker(server_url, poll_interval=0.25, max_cells=None,
     cells per loop and packs the fresh ones through the batched core
     lane.  Returns a summary dict.
     """
-    if batch_cells < 1:
-        raise ValueError("batch_cells must be >= 1")
+    from repro.reliability.packsup import audit_mode, validate_batch_cells
+
+    validate_batch_cells(batch_cells)
+    audit = audit_mode() == "mirror"
     say = log or (lambda message: None)
     fault_plan = _Fault(fault)
     server_url = server_url.rstrip("/")
@@ -245,13 +251,27 @@ def run_worker(server_url, poll_interval=0.25, max_cells=None,
 
                 try:
                     results = run_pack(
-                        [entry["cell"] for entry in pack], pack_scale[1])
+                        [entry["cell"] for entry in pack], pack_scale[1],
+                        audit=audit)
+                except BaseException as exc:  # contain, don't charge
+                    # A pack failure says nothing about which cell is at
+                    # fault; rerunning every packed cell per-cell below
+                    # keeps innocent cells from being charged a failed
+                    # attempt on the service side.
+                    say("worker %s pack failed (%s: %s); falling back "
+                        "to per-cell execution"
+                        % (worker_id, type(exc).__name__, exc))
+                    packed.clear()
+                else:
                     for entry, result in zip(pack, results):
-                        entry["outcome"]["value"] = (result, False)
-                except BaseException as exc:  # report, don't die
-                    error = "%s: %s" % (type(exc).__name__, exc)
-                    for entry in pack:
-                        entry["outcome"]["error"] = error
+                        if result is None:
+                            # Audit-evicted: rerun on the scalar lane.
+                            say("worker %s evicting %s from its pack "
+                                "(mirror divergence)"
+                                % (worker_id, entry["cell"].label))
+                            packed.discard(id(entry))
+                        else:
+                            entry["outcome"]["value"] = (result, False)
             for entry in entries:
                 if id(entry) in packed:
                     continue

@@ -203,15 +203,23 @@ class TestBatchedLane:
         assert batched_export == serial_export
 
     def test_engine_rejects_invalid_batching(self, scale, tmp_path):
+        from repro.experiments.batchrun import pack_cells
         from repro.reliability.supervisor import Supervision
 
-        with pytest.raises(ValueError, match="batch_cells"):
-            SweepEngine(scale, batch_cells=0)
-        with pytest.raises(ValueError, match="supervis"):
-            SweepEngine(scale, batch_cells=2, supervision=Supervision())
-        with pytest.raises(ValueError, match="resume"):
-            SweepEngine(scale, batch_cells=2,
-                        resume_dir=str(tmp_path / "resume"))
+        # One message for every bad batch_cells, engine and pack layer
+        # alike (repro.reliability.packsup.validate_batch_cells).
+        for bad in (0, -1, True, 2.0):
+            with pytest.raises(ValueError,
+                               match="batch_cells must be an integer"):
+                SweepEngine(scale, batch_cells=bad)
+            with pytest.raises(ValueError,
+                               match="batch_cells must be an integer"):
+                list(pack_cells([], bad))
+        # The old supervision/resume incompatibilities are gone: packed
+        # sweeps run supervised now.
+        SweepEngine(scale, batch_cells=2, supervision=Supervision())
+        SweepEngine(scale, batch_cells=2,
+                    resume_dir=str(tmp_path / "resume"))
 
     def test_pack_bootstrap_error(self, scale):
         from repro.reliability.supervisor import CellBootstrapError

@@ -1,0 +1,477 @@
+"""Pack-level supervision for the batched sweep lane.
+
+The PackSupervisor's contract, as tests:
+
+* bad ``batch_cells`` values raise one consistent message at every
+  layer (CLI, engine, pack layer, service worker);
+* a poisoned cell in an 8-cell pack is isolated by deterministic
+  bisection in at most 3 pack re-runs, quarantined alone, and every
+  innocent packmate's result lands byte-identical to serial;
+* a hung pack is reaped by the pack heartbeat timeout;
+* the runtime mirror audit (``REPRO_AUDIT=mirror``/``--audit-mirrors``)
+  is inert on clean runs — identical merged JSON, identical cache
+  bytes, zero evictions — and evicts a mirror-corrupted cell to the
+  scalar lane with zero quarantines;
+* a supervised ``--batch-cells`` sweep SIGKILLed mid-pack resumes via
+  ``--resume-dir`` to byte-identical merged JSON (the batched mirror
+  of the serial kill-resume scenario);
+* the batched chaos presets converge (the harness's own ``ok``);
+* the result cache verifies stored payload digests and sidelines
+  mismatches to ``.corrupt``.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.experiments.parallel import (
+    ResultCache,
+    SweepEngine,
+    grid_cells,
+    merged_json,
+)
+from repro.experiments.runner import ExperimentScale
+from repro.reliability.chaos import (
+    BATCHED_CHAOS_PRESETS,
+    CHAOS_PRESETS,
+    ChaosPlan,
+    MirrorCorrupt,
+    PoisonCell,
+    build_plan,
+    run_chaos,
+)
+from repro.reliability.packsup import (
+    AUDIT_MODES,
+    PackSupervisor,
+    audit_mode,
+    forced_audit,
+    validate_batch_cells,
+)
+from repro.reliability.supervisor import QuarantineLedger, Supervision
+
+
+@pytest.fixture
+def scale():
+    return ExperimentScale.smoke()
+
+
+def eight_cells(epochs=3):
+    return grid_cells(workloads=("art-mcf", "apsi-eon"),
+                      policies=("ICOUNT", "FLUSH", "DCRA", "HILL"),
+                      epochs=epochs)
+
+
+def four_cells(epochs=3):
+    return grid_cells(workloads=("art-mcf", "apsi-eon"),
+                      policies=("ICOUNT", "FLUSH"), epochs=epochs)
+
+
+def _supervision(**overrides):
+    kwargs = dict(max_attempts=3, retry_base_delay=0.0, seed=0,
+                  poll_interval=0.05)
+    kwargs.update(overrides)
+    return Supervision(**kwargs)
+
+
+# -- shared validation and the audit switch ---------------------------------
+
+
+class TestValidation:
+    def test_one_message_for_every_bad_value(self):
+        for bad in (0, -2, True, False, 1.5, "4", None):
+            with pytest.raises(ValueError,
+                               match=r"batch_cells must be an integer >= 1"):
+                validate_batch_cells(bad)
+
+    def test_valid_values_pass_through(self):
+        assert validate_batch_cells(1) == 1
+        assert validate_batch_cells(8) == 8
+
+    def test_engine_and_pack_layer_share_the_message(self, scale):
+        from repro.experiments.batchrun import pack_cells
+
+        with pytest.raises(ValueError,
+                           match=r"batch_cells must be an integer >= 1"):
+            SweepEngine(scale, batch_cells=0)
+        with pytest.raises(ValueError,
+                           match=r"batch_cells must be an integer >= 1"):
+            list(pack_cells([], 0))
+
+
+class TestAuditMode:
+    def test_defaults_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_AUDIT", raising=False)
+        assert audit_mode() == "off"
+
+    def test_env_selects_mirror(self, monkeypatch):
+        monkeypatch.setenv("REPRO_AUDIT", "mirror")
+        assert audit_mode() == "mirror"
+
+    def test_bad_env_fails_fast(self, monkeypatch):
+        monkeypatch.setenv("REPRO_AUDIT", "paranoid")
+        with pytest.raises(ValueError, match="REPRO_AUDIT"):
+            audit_mode()
+
+    def test_forced_audit_wins_and_nests(self, monkeypatch):
+        monkeypatch.setenv("REPRO_AUDIT", "off")
+        with forced_audit("mirror"):
+            assert audit_mode() == "mirror"
+            with forced_audit("off"):
+                assert audit_mode() == "off"
+            assert audit_mode() == "mirror"
+        assert audit_mode() == "off"
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            forced_audit("paranoid")
+        assert AUDIT_MODES == ("off", "mirror")
+
+
+# -- the supervisor, without simulations ------------------------------------
+
+
+def _list_args(pack, attempt):
+    return (list(pack), attempt)
+
+
+def _hang_forever(pack, attempt):
+    time.sleep(120)
+
+
+class TestPackSupervisorUnit:
+    def test_bisection_isolates_the_poison_uncharged(self):
+        events = []
+
+        def worker(pack, attempt):
+            if "poison" in pack:
+                raise RuntimeError("injected")
+            return ["ok:%s" % item for item in pack]
+
+        supervisor = PackSupervisor(
+            worker, _list_args, jobs=1,
+            config=_supervision(max_attempts=1),
+            emit=lambda event, **fields: events.append((event, fields)))
+        items = ["a", "b", "c", "poison", "e", "f", "g", "h"]
+        results = supervisor.run([items])
+
+        assert sorted(results) == sorted(set(items) - {"poison"})
+        # 8 -> 4 -> 2 -> 1: three splits, never more.
+        assert supervisor.bisections == 3
+        assert [fields["cells"] for event, fields in events
+                if event == "pack-bisect"] == [8, 4, 2]
+        assert list(supervisor.quarantined) == ["poison"]
+        assert supervisor.deferred == [] and supervisor.evicted == []
+        # No innocent cell was charged an attempt by the splits.
+        assert all(supervisor.attempts[item] == 0 for item in results)
+
+    def test_retryable_single_cell_defers_to_the_scalar_lane(self):
+        def worker(pack, attempt):
+            if "flaky" in pack:
+                raise RuntimeError("injected")
+            return list(pack)
+
+        supervisor = PackSupervisor(worker, _list_args, jobs=1,
+                                    config=_supervision(max_attempts=3))
+        results = supervisor.run([["flaky", "b"]])
+        assert sorted(results) == ["b"]
+        assert supervisor.deferred == ["flaky"]
+        assert supervisor.attempts["flaky"] == 1
+        assert supervisor.quarantined == {}
+
+    def test_none_payload_slots_are_evicted_uncharged(self):
+        def worker(pack, attempt):
+            return [None if item == "diverged" else item for item in pack]
+
+        supervisor = PackSupervisor(worker, _list_args, jobs=1,
+                                    config=_supervision())
+        results = supervisor.run([["a", "diverged"]])
+        assert sorted(results) == ["a"]
+        assert supervisor.evicted == ["diverged"]
+        assert supervisor.attempts["diverged"] == 0
+        assert supervisor.quarantined == {}
+
+    def test_malformed_payload_is_contained_by_bisection(self):
+        def worker(pack, attempt):
+            if len(pack) > 1:
+                return "garbage"
+            return list(pack)
+
+        supervisor = PackSupervisor(worker, _list_args, jobs=1,
+                                    config=_supervision())
+        results = supervisor.run([["a", "b"]])
+        assert sorted(results) == ["a", "b"]
+        assert supervisor.bisections == 1
+
+    def test_stale_pack_heartbeat_reaps_the_pack(self, tmp_path):
+        heartbeat = str(tmp_path / "pack.hb")
+        events = []
+        supervisor = PackSupervisor(
+            _hang_forever, _list_args, jobs=1,
+            config=_supervision(cell_timeout=0.5),
+            pack_heartbeat=lambda pack: heartbeat,
+            emit=lambda event, **fields: events.append(event))
+        results = supervisor.run([["solo"]])
+        assert results == {}
+        assert supervisor.timeouts == 1
+        assert supervisor.deferred == ["solo"]
+        assert supervisor.attempts["solo"] == 1
+        assert "cell-timeout" in events
+
+
+# -- the engine's supervised batched lane -----------------------------------
+
+
+class TestBatchedEngine:
+    def test_poisoned_pack_cell_bisected_and_isolated(self, scale,
+                                                      tmp_path):
+        # The ISSUE acceptance scenario: one poisoned cell in an 8-cell
+        # pack must be isolated by bisection in <= 3 pack re-runs and
+        # quarantined alone, while the other 7 cells' results land.
+        cells = eight_cells()
+        victim = sorted(cell.label for cell in cells)[0]
+        events = []
+        engine = SweepEngine(
+            scale, jobs=1, use_cache=False,
+            resume_dir=str(tmp_path / "resume"),
+            supervision=_supervision(max_attempts=1),
+            fault_plan=ChaosPlan([PoisonCell((victim,))],
+                                 parent_pid=os.getpid()),
+            batch_cells=8, on_event=events.append)
+        results = engine.run_cells(cells)
+
+        by_label = dict(zip((cell.label for cell in cells), results))
+        assert by_label[victim] is None
+        assert sum(result is not None for result in results) == 7
+        assert engine.supervisor_stats["bisections"] <= 3
+        assert [cell.label for cell in engine.quarantined] == [victim]
+        (entry,) = QuarantineLedger(engine.quarantine_path).entries()
+        assert entry["cell"] == victim
+        assert [e["event"] for e in events].count("pack-bisect") \
+            == engine.supervisor_stats["bisections"]
+
+        reference = SweepEngine(scale, jobs=1, use_cache=False)
+        for cell, got, want in zip(cells, results,
+                                   reference.run_cells(cells)):
+            if cell.label != victim:
+                assert got.to_dict() == want.to_dict()
+
+    def test_audit_mirrors_is_inert_on_a_clean_run(self, scale, tmp_path):
+        # REPRO_AUDIT=mirror must change nothing on a clean run: same
+        # merged bytes, same cache keys, same cached bytes, no
+        # evictions.
+        cells = four_cells()
+        docs, caches = {}, {}
+        for label, audit in (("off", False), ("on", True)):
+            cache_dir = str(tmp_path / ("cache-" + label))
+            engine = SweepEngine(scale, jobs=1, cache_dir=cache_dir,
+                                 supervision=_supervision(),
+                                 batch_cells=4, audit_mirrors=audit)
+            docs[label] = merged_json(cells, engine.run_cells(cells),
+                                      scale,
+                                      quarantined=engine.quarantined)
+            assert engine.supervisor_stats["evicted"] == 0
+            snapshot = {}
+            for dirpath, _dirnames, filenames in os.walk(cache_dir):
+                for name in filenames:
+                    path = os.path.join(dirpath, name)
+                    with open(path) as handle:
+                        snapshot[os.path.relpath(path, cache_dir)] = \
+                            handle.read()
+            caches[label] = snapshot
+        assert docs["on"] == docs["off"]
+        assert caches["on"] == caches["off"]
+        assert caches["on"]  # the comparison compared something
+
+    def test_mirror_corruption_evicts_to_the_scalar_lane(self, scale,
+                                                         tmp_path):
+        cells = four_cells()
+        victim = sorted(cell.label for cell in cells)[0]
+        engine = SweepEngine(
+            scale, jobs=1, use_cache=False,
+            resume_dir=str(tmp_path / "resume"),
+            supervision=_supervision(),
+            fault_plan=ChaosPlan(
+                [MirrorCorrupt((victim,), attempts=(1,), at_epoch=1)],
+                parent_pid=os.getpid()),
+            batch_cells=4, audit_mirrors=True)
+        results = engine.run_cells(cells)
+        assert all(result is not None for result in results)
+        assert engine.supervisor_stats["evicted"] == 1
+        assert engine.quarantined == {}
+
+        reference = SweepEngine(scale, jobs=1, use_cache=False)
+        assert merged_json(cells, results, scale,
+                           quarantined=engine.quarantined) \
+            == merged_json(cells, reference.run_cells(cells), scale)
+
+
+# -- SIGKILL mid-pack, resume via --resume-dir ------------------------------
+
+
+def _sweep_command(out, resume_dir, cache_dir):
+    return [sys.executable, "-m", "repro", "sweep",
+            "--workloads", "art-mcf", "apsi-eon",
+            "--policies", "ICOUNT", "FLUSH",
+            "--scale", "smoke", "--epochs", "6", "--jobs", "1",
+            "--batch-cells", "4", "--cell-timeout", "120",
+            "--resume-dir", resume_dir, "--cache-dir", cache_dir,
+            "--quiet", "--out", out]
+
+
+def _subprocess_env():
+    src_root = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "src")
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src_root + (os.pathsep + existing
+                                    if existing else "")
+    return env
+
+
+class TestKilledPackResumes:
+    def test_sigkilled_pack_sweep_resumes_to_identical_bytes(
+            self, scale, tmp_path):
+        # The batched mirror of the serial kill-resume scenario: a
+        # supervised --batch-cells sweep is SIGKILLed mid-pack, then
+        # re-run with the same --resume-dir; the merged JSON must be
+        # byte-identical to a fault-free serial sweep.
+        resume_dir = str(tmp_path / "resume")
+        out = str(tmp_path / "packed.json")
+        command = _sweep_command(out, resume_dir,
+                                 str(tmp_path / "cache"))
+        env = _subprocess_env()
+
+        proc = subprocess.Popen(command, stdout=subprocess.DEVNULL,
+                                stderr=subprocess.DEVNULL, env=env)
+        # Kill as soon as the pack has checkpointed at least one epoch
+        # (mid-pack by construction: checkpoints are written per epoch
+        # while the pack is still stepping).
+        deadline = time.monotonic() + 60  # repro: allow-nondeterminism[ND101] (harness deadline, not results)
+        def checkpoints():
+            for dirpath, _dirnames, filenames in os.walk(resume_dir):
+                if any(name.startswith("ckpt_") for name in filenames):
+                    return True
+            return False
+        while time.monotonic() < deadline:  # repro: allow-nondeterminism[ND101] (harness deadline, not results)
+            if proc.poll() is not None or checkpoints():
+                break
+            time.sleep(0.05)
+        if proc.poll() is None:
+            os.kill(proc.pid, signal.SIGKILL)
+        proc.wait()
+
+        rerun = subprocess.run(command, env=env,
+                               stdout=subprocess.DEVNULL,
+                               stderr=subprocess.DEVNULL)
+        assert rerun.returncode == 0
+        with open(out) as handle:
+            packed = handle.read()
+
+        cells = four_cells(epochs=None)
+        serial_scale = scale.with_overrides(epochs=6)
+        reference = SweepEngine(serial_scale, jobs=1, use_cache=False)
+        assert packed == merged_json(cells,
+                                     reference.run_cells(cells),
+                                     serial_scale)
+
+
+# -- the batched chaos presets ----------------------------------------------
+
+
+class TestBatchedChaosPresets:
+    def test_presets_are_registered(self):
+        assert BATCHED_CHAOS_PRESETS \
+            == {"poison-pack-cell", "hang-pack", "mirror-corrupt"}
+        assert BATCHED_CHAOS_PRESETS <= set(CHAOS_PRESETS)
+
+    def test_build_plan_shapes(self, scale):
+        cells = four_cells()
+        plan, expected, timeout = build_plan("poison-pack-cell", cells)
+        assert expected == 1 and timeout is None
+        plan, expected, timeout = build_plan("hang-pack", cells)
+        assert expected == 0 and timeout == 5.0
+        plan, expected, timeout = build_plan("mirror-corrupt", cells)
+        assert expected == 0 and timeout is None
+        assert isinstance(plan.faults[0], MirrorCorrupt)
+
+    def test_poison_pack_cell_converges(self, scale, tmp_path):
+        workdir = str(tmp_path / "chaos")
+        report = run_chaos("poison-pack-cell", scale, jobs=1, epochs=3,
+                           work_dir=workdir, keep=True)
+        assert report["ok"], report
+        assert report["batch_cells"] == len(report["cells"])
+        assert report["bisections"] >= 1
+        assert len(report["quarantined"]) == 1
+        entries = QuarantineLedger(report["quarantine_path"]).entries()
+        assert [entry["cell"] for entry in entries] \
+            == report["quarantined"]
+
+    def test_hang_pack_converges(self, scale):
+        report = run_chaos("hang-pack", scale, jobs=1, epochs=3,
+                           cell_timeout=2.0)
+        assert report["ok"], report
+        assert report["timeouts"] >= 1
+        assert report["quarantined"] == []
+
+    def test_mirror_corrupt_is_evicted_not_quarantined(self, scale):
+        report = run_chaos("mirror-corrupt", scale, jobs=1, epochs=3)
+        assert report["ok"], report
+        assert report["evicted"] == 1
+        assert report["bisections"] == 0
+        assert report["quarantined"] == []
+
+
+# -- cache payload digests --------------------------------------------------
+
+
+class TestCacheDigest:
+    def _seed_cache(self, scale, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        (cell,) = grid_cells(workloads=("art-mcf",),
+                             policies=("ICOUNT",), epochs=2)
+        engine = SweepEngine(scale, jobs=1, cache_dir=cache_dir)
+        engine.run_cells([cell])
+        cache = ResultCache(cache_dir)
+        (path,) = [os.path.join(dirpath, name)
+                   for dirpath, _dirnames, names in
+                   os.walk(cache.objects_dir)
+                   for name in names if name.endswith(".json")]
+        return cache, cell, path
+
+    def test_tampered_payload_is_sidelined(self, scale, tmp_path,
+                                           capsys):
+        cache, cell, path = self._seed_cache(scale, tmp_path)
+        with open(path) as handle:
+            document = json.load(handle)
+        key = document["key"]
+        assert cache.get(key) is not None  # digest verifies clean
+
+        document["result"]["avg_ipc"] = 99.0  # the payload lies now
+        with open(path, "w") as handle:
+            json.dump(document, handle)
+        assert cache.get(key) is None
+        err = capsys.readouterr().err
+        assert "corrupt cache entry" in err
+        assert "does not match payload digest" in err
+        assert os.path.exists(path[:-len(".json")] + ".corrupt")
+        info = cache.info()
+        assert info.entries == 0 and info.corrupt == 1
+
+    def test_entry_filed_under_wrong_key_is_sidelined(self, scale,
+                                                      tmp_path, capsys):
+        cache, cell, path = self._seed_cache(scale, tmp_path)
+        with open(path) as handle:
+            document = json.load(handle)
+        key = document["key"]
+        document["key"] = "0" * 64  # filed under someone else's name
+        with open(path, "w") as handle:
+            json.dump(document, handle)
+        assert cache.get(key) is None
+        assert "filed under key" in capsys.readouterr().err
+        assert cache.info().corrupt == 1
